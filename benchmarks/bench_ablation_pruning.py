@@ -1,0 +1,48 @@
+"""Ablation: contribution of each pruning rule (this library's addition).
+
+DESIGN.md calls out the paper's pruning rules as the design choices to
+ablate: Lemma 1 (endpoint dominance in envelope merges), Lemma 5
+(predecessor-region subtraction), Lemma 6 (triangle refinement; paper
+configuration), Lemma 7 (CPLMAX cutoff), Lemma 2 (RLMAX scan termination),
+and this library's coverage-validation round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import PARAM_DEFAULTS, run_batch
+from repro.core import ConnConfig, DEFAULT_CONFIG
+
+from conftest import queries_for, record_metrics
+
+VARIANTS = {
+    "default": DEFAULT_CONFIG,
+    "paper_lemma6": ConnConfig.paper_faithful(),
+    "no_lemma1": ConnConfig(use_lemma1=False),
+    "no_lemma5": ConnConfig(use_lemma5=False),
+    "no_lemma7": ConnConfig(use_lemma7=False),
+    "no_rlmax": ConnConfig(use_rlmax=False),
+    "no_pruning": ConnConfig.no_pruning(),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_pruning_ablation(benchmark, cl_dataset, variant):
+    points, obstacles = cl_dataset
+    batch = queries_for(obstacles, PARAM_DEFAULTS["ql"])
+
+    def run():
+        return run_batch(points, obstacles, batch, k=1,
+                         config=VARIANTS[variant])
+
+    agg = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_metrics(benchmark, agg)
+    benchmark.extra_info.update({
+        "variant": variant,
+        "split_solves": round(agg.split_solves, 1),
+        "nodes_expanded": round(agg.nodes_expanded, 1),
+        "lemma1_prunes": round(agg.lemma1_prunes, 1),
+        "lemma7_cutoffs": round(agg.lemma7_cutoffs, 1),
+    })
+    assert agg.queries >= 1

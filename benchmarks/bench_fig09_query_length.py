@@ -1,0 +1,32 @@
+"""Figure 9: COkNN performance vs query length ql (CL, k = 5).
+
+Paper's claims to reproduce (Section 5.2):
+* total time, NPE, and NOE all grow with ql;
+* |SVG| grows with ql but stays far below FULL = 4 |O|.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import PARAM_DEFAULTS, PARAM_GRID, run_batch
+
+from conftest import QUERIES, queries_for, record_metrics
+
+
+@pytest.mark.parametrize("ql", PARAM_GRID["ql"])
+def test_coknn_vs_query_length(benchmark, cl_dataset, ql):
+    points, obstacles = cl_dataset
+    batch = queries_for(obstacles, ql)
+
+    def run():
+        return run_batch(points, obstacles, batch,
+                         k=int(PARAM_DEFAULTS["k"]))
+
+    agg = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_metrics(benchmark, agg)
+    benchmark.extra_info["full_svg"] = 4 * len(obstacles)
+    assert agg.queries == QUERIES
+    assert agg.npe >= 1
+    # Figure 9(b): the local graph is a small fraction of the global one.
+    assert agg.svg_size < 4 * len(obstacles)

@@ -1,0 +1,26 @@
+"""Figure 10: COkNN performance vs k (CL, ql = 4.5 %).
+
+Paper's claim: total time, NPE, NOE and |SVG| all grow (mildly) with k —
+a larger k widens the search range and the result list.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import PARAM_DEFAULTS, PARAM_GRID, run_batch
+
+from conftest import queries_for, record_metrics
+
+
+@pytest.mark.parametrize("k", PARAM_GRID["k"])
+def test_coknn_vs_k(benchmark, cl_dataset, k):
+    points, obstacles = cl_dataset
+    batch = queries_for(obstacles, PARAM_DEFAULTS["ql"])
+
+    def run():
+        return run_batch(points, obstacles, batch, k=int(k))
+
+    agg = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_metrics(benchmark, agg)
+    assert agg.npe >= k or agg.npe >= 1

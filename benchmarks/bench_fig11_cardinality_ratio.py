@@ -1,0 +1,38 @@
+"""Figure 11: COkNN performance vs |P|/|O| (UL and ZL, k = 5, ql = 4.5 %).
+
+Paper's claims: query time is U-shaped in the cardinality ratio (fastest
+near 0.5); NOE shrinks as data density grows while NPE rises; |SVG|
+decreases monotonically with the ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    PARAM_DEFAULTS,
+    PARAM_GRID,
+    make_dataset,
+    run_batch,
+)
+
+from conftest import queries_for, record_metrics
+
+from conftest import BENCH_SCALE
+
+
+@pytest.mark.parametrize("combo", ["UL", "ZL"])
+@pytest.mark.parametrize("ratio", PARAM_GRID["ratio"])
+def test_coknn_vs_cardinality_ratio(benchmark, combo, ratio):
+    points, obstacles = make_dataset(combo, BENCH_SCALE, ratio=ratio)
+    batch = queries_for(obstacles, PARAM_DEFAULTS["ql"])
+
+    def run():
+        return run_batch(points, obstacles, batch,
+                         k=int(PARAM_DEFAULTS["k"]))
+
+    agg = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_metrics(benchmark, agg)
+    benchmark.extra_info["ratio"] = ratio
+    benchmark.extra_info["cardinality"] = len(points)
+    assert agg.queries >= 1

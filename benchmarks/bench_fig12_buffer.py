@@ -1,0 +1,30 @@
+"""Figure 12: COkNN performance vs LRU buffer size (CL, k = 5, ql = 4.5 %).
+
+Paper's claim: a non-zero buffer improves ONLY the I/O cost — CPU time, NPE,
+NOE and |SVG| are untouched.  The first half of the workload warms the pool;
+only the second half is measured, as in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import PARAM_DEFAULTS, PARAM_GRID, run_batch
+
+from conftest import QUERIES, queries_for, record_metrics
+
+
+@pytest.mark.parametrize("buffer_pct", PARAM_GRID["buffer"])
+def test_coknn_vs_buffer_size(benchmark, cl_dataset, buffer_pct):
+    points, obstacles = cl_dataset
+    batch = queries_for(obstacles, PARAM_DEFAULTS["ql"], count=QUERIES * 2)
+
+    def run():
+        return run_batch(points, obstacles, batch,
+                         k=int(PARAM_DEFAULTS["k"]),
+                         buffer_pct=float(buffer_pct), warmup=QUERIES)
+
+    agg = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_metrics(benchmark, agg)
+    benchmark.extra_info["buffer_pct"] = buffer_pct
+    assert agg.queries == QUERIES

@@ -1,0 +1,48 @@
+"""Figure 13: COkNN on one unified R*-tree (1T) vs two trees (2T).
+
+Paper's claim: 1T is more efficient than 2T in most settings because a
+single traversal serves both the data scan and obstacle retrieval, and
+nearby points/obstacles share leaf pages.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import PARAM_DEFAULTS, run_batch
+
+from conftest import queries_for, record_metrics
+
+QLS = (1.5, 4.5)
+KS = (1, 5)
+
+
+@pytest.mark.parametrize("mode", ["2T", "1T"])
+@pytest.mark.parametrize("ql", QLS)
+def test_layout_vs_query_length(benchmark, cl_dataset, mode, ql):
+    points, obstacles = cl_dataset
+    batch = queries_for(obstacles, ql)
+
+    def run():
+        return run_batch(points, obstacles, batch,
+                         k=int(PARAM_DEFAULTS["k"]), mode=mode)
+
+    agg = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_metrics(benchmark, agg)
+    benchmark.extra_info["mode"] = mode
+    assert agg.queries >= 1
+
+
+@pytest.mark.parametrize("mode", ["2T", "1T"])
+@pytest.mark.parametrize("k", KS)
+def test_layout_vs_k(benchmark, ul_dataset, mode, k):
+    points, obstacles = ul_dataset
+    batch = queries_for(obstacles, PARAM_DEFAULTS["ql"])
+
+    def run():
+        return run_batch(points, obstacles, batch, k=k, mode=mode)
+
+    agg = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_metrics(benchmark, agg)
+    benchmark.extra_info["mode"] = mode
+    assert agg.queries >= 1

@@ -1,0 +1,143 @@
+"""Micro-benchmarks of the substrates the CONN engine stands on.
+
+Not a paper figure — these isolate the building blocks (R*-tree build and
+queries, visibility graph growth, Dijkstra, shadow computation, the
+quadratic split solver, envelope merges) so performance regressions can be
+attributed to a layer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import PiecewiseDistance, crossing_params
+from repro.geometry import IntervalSet, Rect, Segment
+from repro.index import RStarTree, knn
+from repro.obstacles import LocalVisibilityGraph, visible_region
+from repro.datasets import la_street_obstacles, uniform_points
+
+
+@pytest.fixture(scope="module")
+def points_1k():
+    return uniform_points(1000, random.Random(3))
+
+
+@pytest.fixture(scope="module")
+def streets_500():
+    return la_street_obstacles(500, random.Random(4))
+
+
+class TestRTreeBenches:
+    def test_insert_build(self, benchmark, points_1k):
+        def build():
+            t = RStarTree(page_size=1024)
+            for i, (x, y) in enumerate(points_1k):
+                t.insert_point(i, x, y)
+            return t
+
+        tree = benchmark.pedantic(build, rounds=1, iterations=1)
+        assert tree.size == 1000
+
+    def test_bulk_load(self, benchmark, points_1k):
+        items = [(i, Rect.point(x, y)) for i, (x, y) in enumerate(points_1k)]
+        tree = benchmark(RStarTree.bulk_load, items)
+        assert tree.size == 1000
+
+    def test_knn_query(self, benchmark, points_1k):
+        tree = RStarTree.bulk_load(
+            (i, Rect.point(x, y)) for i, (x, y) in enumerate(points_1k))
+        result = benchmark(knn, tree, 5000.0, 5000.0, 10)
+        assert len(result) == 10
+
+    def test_range_query(self, benchmark, points_1k):
+        tree = RStarTree.bulk_load(
+            (i, Rect.point(x, y)) for i, (x, y) in enumerate(points_1k))
+        probe = Rect(2000, 2000, 4000, 4000)
+        result = benchmark(tree.range_search, probe)
+        assert isinstance(result, list)
+
+
+class TestVisibilityBenches:
+    def test_graph_growth(self, benchmark, streets_500):
+        q = Segment(1000, 5000, 9000, 5200)
+
+        def grow():
+            vg = LocalVisibilityGraph(q)
+            vg.add_obstacles(streets_500[:200])
+            # Force some adjacency rows like a traversal would.
+            for node in range(0, 40):
+                vg.neighbors(node)
+            return vg
+
+        vg = benchmark.pedantic(grow, rounds=1, iterations=1)
+        assert vg.svg_size == 2 + 4 * 200
+
+    def test_dijkstra(self, benchmark, streets_500):
+        q = Segment(1000, 5000, 9000, 5200)
+        vg = LocalVisibilityGraph(q)
+        vg.add_obstacles(streets_500[:150])
+
+        def sssp():
+            return vg.shortest_distances(vg.S, [vg.E])
+
+        out = benchmark(sssp)
+        assert vg.E in out
+
+    def test_visible_region(self, benchmark, streets_500):
+        from repro.obstacles import ObstacleSet
+
+        q = Segment(1000, 5000, 9000, 5200)
+        oset = ObstacleSet(streets_500)
+        vr = benchmark(visible_region, 5000.0, 6000.0, q, oset)
+        assert vr.measure() <= q.length
+
+
+class TestSolverBenches:
+    def test_crossing_params(self, benchmark):
+        q = Segment(0, 0, 10000, 0)
+
+        def solve():
+            out = []
+            for i in range(100):
+                out.append(crossing_params(
+                    q, (3000 + i, 800), 50.0, (7000 - i, 300), 250.0,
+                    0.0, 10000.0))
+            return out
+
+        roots = benchmark.pedantic(solve, rounds=1, iterations=3)
+        assert len(roots) == 100
+
+    def test_envelope_merge(self, benchmark):
+        q = Segment(0, 0, 10000, 0)
+        rng = random.Random(9)
+        full = IntervalSet.full(0, q.length)
+        fns = [PiecewiseDistance.from_region(
+            q, full, (rng.uniform(0, 10000), rng.uniform(50, 2000)),
+            rng.uniform(0, 500), i) for i in range(40)]
+
+        def merge_all():
+            env = PiecewiseDistance.unknown(q)
+            for f in fns:
+                env, _, _ = env.merge_min(f)
+            return env
+
+        env = benchmark.pedantic(merge_all, rounds=1, iterations=1)
+        assert env.covered()
+
+    def test_interval_algebra(self, benchmark):
+        rng = random.Random(11)
+        sets = [IntervalSet([(a, a + rng.uniform(1, 50))
+                             for a in rng.sample(range(10000), 40)])
+                for _ in range(20)]
+
+        def churn():
+            acc = IntervalSet.full(0, 10000)
+            for s in sets:
+                acc = acc.subtract(s).union(s.intersect(acc))
+            return acc
+
+        out = benchmark(churn)
+        assert out.measure() <= 10000.0

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run the same figure drivers as ``repro.bench.experiments`` at
+``tiny`` scale (about 0.5 % of the paper's cardinalities) with one query per
+configuration, so ``pytest benchmarks/ --benchmark-only`` completes in
+minutes while preserving every qualitative trend.  For fuller sweeps use the
+CLI: ``python -m repro.bench.experiments --all --scale small``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.experiments import make_dataset
+from repro.bench.workloads import query_workload
+
+BENCH_SCALE = "tiny"
+QUERIES = 2
+
+
+@pytest.fixture(scope="session")
+def cl_dataset():
+    return make_dataset("CL", BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def ul_dataset():
+    return make_dataset("UL", BENCH_SCALE)
+
+
+def queries_for(obstacles, ql: float, count: int = QUERIES, seed: int = 1):
+    return query_workload(random.Random(20_000 + seed), count, ql, obstacles)
+
+
+def record_metrics(benchmark, agg) -> None:
+    """Attach the paper's metrics to the benchmark record."""
+    benchmark.extra_info.update({
+        "npe": round(agg.npe, 2),
+        "noe": round(agg.noe, 2),
+        "svg_size": round(agg.svg_size, 2),
+        "page_faults": round(agg.page_faults, 2),
+        "io_time_ms": round(agg.io_time_ms, 2),
+        "cpu_time_ms": round(agg.cpu_time_ms, 2),
+        "total_time_ms": round(agg.total_time_ms, 2),
+    })

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Single-tree (1T) indexing and buffer effects on an LA-like street grid.
+
+Section 4.5 of the paper observes that indexing data points and obstacles in
+ONE R*-tree usually beats two separate trees, because one best-first
+traversal serves both roles and co-located points/obstacles share leaf
+pages.  This script builds a downtown street grid (thin street MBRs), drops
+taxis between the blocks, and answers the same COkNN workload three ways:
+
+  1. two trees (2T), cold cache,
+  2. one unified tree (1T), cold cache,
+  3. one unified tree with an LRU buffer pool (25 % of the tree).
+
+It prints the paper's metrics for each so the I/O story is visible.
+
+Run:  python examples/city_blocks_1t.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    LRUBuffer,
+    RStarTree,
+    build_unified_tree,
+    coknn,
+    coknn_single_tree,
+)
+from repro.bench.workloads import query_workload
+from repro.datasets import la_street_obstacles, reject_inside_obstacles, uniform_points
+
+
+def main() -> None:
+    rng = random.Random(7)
+    streets = la_street_obstacles(2000, rng)
+    taxis = list(enumerate(
+        reject_inside_obstacles(uniform_points(1000, rng), streets, rng)))
+
+    rides = query_workload(random.Random(8), 4, 3.0, streets)
+    k = 3
+
+    # --- 2T: separate trees -------------------------------------------------
+    data_tree = RStarTree.bulk_load(
+        ((pid, __import__("repro").Rect.point(x, y)) for pid, (x, y) in taxis))
+    street_tree = RStarTree.bulk_load((o, o.mbr()) for o in streets)
+
+    def run_2t():
+        stats = []
+        for ride in rides:
+            stats.append(coknn(data_tree, street_tree, ride, k=k).stats)
+        return stats
+
+    # --- 1T: one tree (optionally buffered) ---------------------------------
+    unified = build_unified_tree(taxis, streets)
+
+    def run_1t():
+        return [coknn_single_tree(unified, ride, k=k).stats for ride in rides]
+
+    def report(tag, stats):
+        n = len(stats)
+        faults = sum(s.io.page_faults for s in stats) / n
+        io_ms = sum(s.io_time_ms for s in stats) / n
+        npe = sum(s.npe for s in stats) / n
+        noe = sum(s.noe for s in stats) / n
+        print(f"{tag:<28} page faults/query: {faults:7.1f}   "
+              f"I/O time: {io_ms:8.1f} ms   NPE: {npe:5.1f}   NOE: {noe:6.1f}")
+
+    print(f"{len(taxis)} taxis, {len(streets)} street MBRs, "
+          f"{len(rides)} rides, k={k}\n")
+    report("2T (two trees, no buffer)", run_2t())
+    report("1T (unified, no buffer)", run_1t())
+
+    buffer = LRUBuffer(max(4, unified.num_pages * 25 // 100))
+    unified.attach_buffer(buffer)
+    run_1t()  # warm the pool
+    report("1T + 25% LRU buffer (warm)", run_1t())
+    print(f"\nbuffer hit rate: {buffer.hit_rate():.1%} "
+          f"({buffer.hits} hits / {buffer.misses} misses)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""repro — Continuous Obstructed Nearest Neighbor queries in spatial databases.
+
+A complete, from-scratch reproduction of Gao & Zheng, *Continuous Obstructed
+Nearest Neighbor Queries in Spatial Databases* (SIGMOD 2009): the CONN and
+COkNN query processing algorithms (IOR, CPLC, RLU, control points, the
+quadratic split-point method), the substrates they stand on (a paged R*-tree
+with LRU buffering and best-first traversal, local visibility graphs, exact
+visible-region computation), and the baselines and dataset generators needed
+to regenerate every figure of the paper's evaluation.
+
+Quickstart::
+
+    import random
+    from repro import (RStarTree, Rect, Segment, RectObstacle, conn)
+
+    rng = random.Random(0)
+    data = RStarTree()
+    for i in range(100):
+        data.insert_point(i, rng.uniform(0, 100), rng.uniform(0, 100))
+    obstacles = RStarTree()
+    for o in [RectObstacle(40, 40, 60, 60)]:
+        obstacles.insert(o, o.mbr())
+
+    result = conn(data, obstacles, Segment(0, 50, 100, 50))
+    for owner, (lo, hi) in result.tuples():
+        print(f"point {owner} is the obstructed NN on [{lo:.1f}, {hi:.1f}]")
+"""
+
+from .baselines import (
+    GlobalVisibilityGraph,
+    cknn_euclidean,
+    cnn_euclidean,
+    full_vertex_count,
+    naive_coknn,
+    naive_conn,
+    naive_onn,
+)
+from .core import (
+    DEFAULT_CONFIG,
+    ConnConfig,
+    ConnResult,
+    PiecewiseDistance,
+    QueryStats,
+    build_unified_tree,
+    coknn,
+    coknn_single_tree,
+    conn,
+    conn_single_tree,
+    obstructed_closest_pair,
+    obstructed_distance_indexed,
+    obstructed_e_distance_join,
+    obstructed_range,
+    obstructed_semi_join,
+    onn,
+    trajectory_coknn,
+    trajectory_conn,
+    vknn,
+)
+from .geometry import IntervalSet, Point, Rect, Segment
+from .index import IncrementalNearest, LRUBuffer, PageTracker, RStarTree
+from .obstacles import (
+    LocalVisibilityGraph,
+    Obstacle,
+    ObstacleSet,
+    PolygonObstacle,
+    RectObstacle,
+    SegmentObstacle,
+    obstructed_distance,
+    obstructed_path,
+    visible_region,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConnConfig",
+    "ConnResult",
+    "DEFAULT_CONFIG",
+    "GlobalVisibilityGraph",
+    "IncrementalNearest",
+    "IntervalSet",
+    "LRUBuffer",
+    "LocalVisibilityGraph",
+    "Obstacle",
+    "ObstacleSet",
+    "PageTracker",
+    "PolygonObstacle",
+    "PiecewiseDistance",
+    "Point",
+    "QueryStats",
+    "RStarTree",
+    "Rect",
+    "RectObstacle",
+    "Segment",
+    "SegmentObstacle",
+    "build_unified_tree",
+    "cknn_euclidean",
+    "cnn_euclidean",
+    "coknn",
+    "coknn_single_tree",
+    "conn",
+    "conn_single_tree",
+    "full_vertex_count",
+    "naive_coknn",
+    "naive_conn",
+    "naive_onn",
+    "obstructed_distance",
+    "obstructed_closest_pair",
+    "obstructed_distance_indexed",
+    "obstructed_e_distance_join",
+    "obstructed_path",
+    "obstructed_range",
+    "obstructed_semi_join",
+    "onn",
+    "trajectory_coknn",
+    "trajectory_conn",
+    "visible_region",
+    "vknn",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Baselines: Euclidean CNN, naive sampled CONN, global visibility graph."""
+
+from .cnn import cknn_euclidean, cnn_euclidean
+from .global_vg import GlobalVisibilityGraph, full_vertex_count
+from .naive import brute_distance_function, naive_coknn, naive_conn, naive_onn
+
+__all__ = [
+    "GlobalVisibilityGraph",
+    "brute_distance_function",
+    "cknn_euclidean",
+    "cnn_euclidean",
+    "full_vertex_count",
+    "naive_coknn",
+    "naive_conn",
+    "naive_onn",
+]

@@ -1,0 +1,74 @@
+"""Global visibility graph baseline (Section 2.4, the "FULL" yardstick).
+
+The classic main-memory approach: materialize the visibility graph over
+*every* obstacle vertex up front — ``O(n^2)`` space — and answer queries on
+it.  The paper plots its size (``FULL = 4 |O|`` vertices for rectangular
+obstacles) against the local graph's |SVG| in Figure 9(b) to show how little
+of the graph CONN actually touches.
+
+Building the full adjacency is quadratic and only sensible for small
+obstacle sets; :func:`full_vertex_count` (all Figure 9(b) needs) is O(|O|).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.segment import Segment
+from ..obstacles.obstacle import Obstacle, ObstacleSet
+from ..obstacles.obstructed import _dijkstra, build_full_graph
+from .naive import brute_distance_function
+
+
+def full_vertex_count(obstacles: Iterable[Obstacle]) -> int:
+    """Vertices of the global visibility graph (4/rect + 2/segment)."""
+    obs = obstacles if isinstance(obstacles, ObstacleSet) else ObstacleSet(obstacles)
+    return obs.vertex_count()
+
+
+class GlobalVisibilityGraph:
+    """Fully materialized visibility graph over an obstacle set.
+
+    Intended for small inputs (tests, the FULL baseline bench); raises when
+    asked to materialize an unreasonably large graph.
+    """
+
+    def __init__(self, obstacles: Iterable[Obstacle], max_vertices: int = 4000):
+        self.obstacles = (obstacles if isinstance(obstacles, ObstacleSet)
+                          else ObstacleSet(obstacles))
+        n = self.obstacles.vertex_count()
+        if n > max_vertices:
+            raise ValueError(
+                f"global visibility graph with {n} vertices exceeds the "
+                f"max_vertices={max_vertices} guard; use the local graph instead")
+        self.adjacency = build_full_graph([], self.obstacles)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.obstacles.vertex_count()
+
+    def num_edges(self) -> int:
+        return sum(len(d) for d in self.adjacency) // 2
+
+    def distance(self, a: Tuple[float, float], b: Tuple[float, float]) -> float:
+        """Obstructed distance via a throwaway extension of the graph."""
+        adj = build_full_graph([a, b], self.obstacles)
+        dist, _ = _dijkstra(adj, 0)
+        return dist[1]
+
+    def conn(self, points: Sequence[Tuple[Any, Tuple[float, float]]],
+             qseg: Segment, ts: np.ndarray
+             ) -> Tuple[List[Any], np.ndarray]:
+        """Sampled CONN over all points using the global graph's obstacles."""
+        best = np.full(len(ts), math.inf)
+        owners: List[Any] = [None] * len(ts)
+        for payload, xy in points:
+            vals = brute_distance_function(xy, self.obstacles, qseg, ts)
+            improved = vals < best - 1e-9
+            best = np.where(improved, vals, best)
+            for i in np.nonzero(improved)[0]:
+                owners[i] = payload
+        return owners, best

@@ -1,0 +1,107 @@
+"""Brute-force oracles for CONN semantics.
+
+These implementations share no code with the query engine beyond the
+elementary geometry: full visibility graph, no R-trees, no pruning, no
+interval algebra.  They are the ground truth the test suite checks the fast
+algorithms against, and the "naive approach" the paper's introduction
+dismisses (ONN at many sampled positions of ``q``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.segment import Segment
+from ..geometry.vectorized import visibility_mask
+from ..obstacles.obstacle import Obstacle, ObstacleSet
+from ..obstacles.obstructed import _dijkstra, build_full_graph
+
+
+def brute_distance_function(point: Tuple[float, float],
+                            obstacles: Iterable[Obstacle],
+                            qseg: Segment, ts: np.ndarray) -> np.ndarray:
+    """Exact obstructed distance from ``point`` to ``q(t)`` for each ``t``.
+
+    Builds the full visibility graph over *all* obstacle vertices, runs one
+    Dijkstra from the point, then for every sample takes the best
+    "graph node -> straight visible hop" completion.
+    """
+    obs = obstacles if isinstance(obstacles, ObstacleSet) else ObstacleSet(obstacles)
+    adj = build_full_graph([point], obs)
+    dist, _pred = _dijkstra(adj, 0)
+    coords: List[Tuple[float, float]] = [tuple(map(float, point))]
+    for o in obs:
+        for vx, vy in o.vertices():
+            coords.append((vx, vy))
+
+    ts = np.asarray(ts, dtype=np.float64)
+    ln = qseg.length
+    ux = (qseg.bx - qseg.ax) / ln
+    uy = (qseg.by - qseg.ay) / ln
+    qx = qseg.ax + ts * ux
+    qy = qseg.ay + ts * uy
+    targets = np.column_stack([qx, qy])
+    out = np.full(ts.shape, math.inf)
+    polys = [poly.as_array() for poly in obs.polys]
+    for i, (nx, ny) in enumerate(coords):
+        if math.isinf(dist[i]):
+            continue
+        vis = visibility_mask(nx, ny, targets, obs.rects, obs.segs, polys)
+        if not vis.any():
+            continue
+        vals = dist[i] + np.hypot(qx[vis] - nx, qy[vis] - ny)
+        out[vis] = np.minimum(out[vis], vals)
+    return out
+
+
+def naive_conn(points: Sequence[Tuple[Any, Tuple[float, float]]],
+               obstacles: Iterable[Obstacle], qseg: Segment,
+               ts: np.ndarray) -> Tuple[List[Any], np.ndarray]:
+    """Sampled CONN ground truth.
+
+    Returns:
+        ``(owners, dists)``: for each sample parameter, the data point with
+        the smallest exact obstructed distance (``None`` if unreachable) and
+        that distance.
+    """
+    obs = obstacles if isinstance(obstacles, ObstacleSet) else ObstacleSet(obstacles)
+    ts = np.asarray(ts, dtype=np.float64)
+    best = np.full(ts.shape, math.inf)
+    owners: List[Any] = [None] * len(ts)
+    for payload, xy in points:
+        vals = brute_distance_function(xy, obs, qseg, ts)
+        improved = vals < best - 1e-9
+        best = np.where(improved, vals, best)
+        for i in np.nonzero(improved)[0]:
+            owners[i] = payload
+    return owners, best
+
+
+def naive_coknn(points: Sequence[Tuple[Any, Tuple[float, float]]],
+                obstacles: Iterable[Obstacle], qseg: Segment,
+                ts: np.ndarray, k: int) -> List[List[Tuple[Any, float]]]:
+    """Sampled COkNN ground truth: k best ``(payload, dist)`` per sample."""
+    obs = obstacles if isinstance(obstacles, ObstacleSet) else ObstacleSet(obstacles)
+    ts = np.asarray(ts, dtype=np.float64)
+    per_point = [(payload, brute_distance_function(xy, obs, qseg, ts))
+                 for payload, xy in points]
+    out: List[List[Tuple[Any, float]]] = []
+    for i in range(len(ts)):
+        ranked = sorted(((vals[i], payload) for payload, vals in per_point))
+        out.append([(payload, float(d)) for d, payload in ranked[:k]
+                    if math.isfinite(d)])
+    return out
+
+
+def naive_onn(points: Sequence[Tuple[Any, Tuple[float, float]]],
+              obstacles: Iterable[Obstacle],
+              query_point: Tuple[float, float], k: int = 1
+              ) -> List[Tuple[Any, float]]:
+    """Snapshot ONN ground truth at a single query point."""
+    qseg = Segment(query_point[0], query_point[1],
+                   query_point[0] + 1.0, query_point[1])
+    result = naive_coknn(points, obstacles, qseg, np.array([0.0]), k)
+    return result[0]

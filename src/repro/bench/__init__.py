@@ -1,0 +1,12 @@
+"""Benchmark harness: metrics, workloads, and per-figure experiment drivers."""
+
+from .metrics import AggregateStats, Row, format_table
+from .workloads import query_workload, random_query_segment
+
+__all__ = [
+    "AggregateStats",
+    "Row",
+    "format_table",
+    "query_workload",
+    "random_query_segment",
+]

@@ -1,0 +1,73 @@
+"""Query workload generation (Section 5.1).
+
+"The starting point and the orientation (in [0, 2pi)) of the query line
+segment are randomly generated, while its length is controlled by the
+parameter ql" — expressed as a percentage of the data space side.  Queries
+are rejected (and redrawn) when they would start inside or cut through an
+obstacle's interior, since a query position inside an obstacle has no
+defined obstructed neighbor.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence
+
+from ..geometry.predicates import segment_crosses_rect_interior
+from ..geometry.segment import Segment
+from ..datasets.synthetic import SPACE, Bounds, ObstacleGrid
+from ..obstacles.obstacle import Obstacle
+
+
+def _segment_clear(seg: Segment, grid: ObstacleGrid | None) -> bool:
+    if grid is None:
+        return True
+    if grid.inside_any(seg.ax, seg.ay) or grid.inside_any(seg.bx, seg.by):
+        return False
+    xlo, ylo, xhi, yhi = (min(seg.ax, seg.bx), min(seg.ay, seg.by),
+                          max(seg.ax, seg.bx), max(seg.ay, seg.by))
+    for o in grid.candidates_near(xlo, ylo, xhi, yhi):
+        r = o.rect
+        if segment_crosses_rect_interior(seg.ax, seg.ay, seg.bx, seg.by,
+                                         r.xlo, r.ylo, r.xhi, r.yhi):
+            return False
+    return True
+
+
+def random_query_segment(rng: random.Random, ql_percent: float,
+                         grid: ObstacleGrid | None = None,
+                         bounds: Bounds = SPACE,
+                         max_tries: int = 500) -> Segment:
+    """One query segment of length ``ql_percent`` % of the space side.
+
+    Falls back to the last candidate when no obstacle-free placement is
+    found within ``max_tries`` (dense obstacle fields).
+    """
+    xlo, ylo, xhi, yhi = bounds
+    side = min(xhi - xlo, yhi - ylo)
+    length = side * ql_percent / 100.0
+    seg = None
+    for _ in range(max_tries):
+        theta = rng.uniform(0.0, 2.0 * math.pi)
+        sx = rng.uniform(xlo, xhi)
+        sy = rng.uniform(ylo, yhi)
+        ex = sx + length * math.cos(theta)
+        ey = sy + length * math.sin(theta)
+        if not (xlo <= ex <= xhi and ylo <= ey <= yhi):
+            continue
+        seg = Segment(sx, sy, ex, ey)
+        if _segment_clear(seg, grid):
+            return seg
+    if seg is None:  # pragma: no cover - only for absurd ql values
+        raise ValueError(f"cannot place a query of length {length} in {bounds}")
+    return seg
+
+
+def query_workload(rng: random.Random, count: int, ql_percent: float,
+                   obstacles: Sequence[Obstacle] = (),
+                   bounds: Bounds = SPACE) -> List[Segment]:
+    """A reproducible batch of query segments avoiding obstacle interiors."""
+    grid = ObstacleGrid(obstacles, bounds) if obstacles else None
+    return [random_query_segment(rng, ql_percent, grid, bounds)
+            for _ in range(count)]

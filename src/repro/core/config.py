@@ -1,0 +1,58 @@
+"""Tunable switches for CONN query processing.
+
+Every pruning rule from the paper can be disabled independently, which the
+test suite uses to prove pruning never changes results and the ablation
+benchmark uses to measure each rule's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConnConfig:
+    """Feature switches for the CONN/COkNN engine.
+
+    Attributes:
+        use_lemma1: endpoint-dominance pruning inside envelope merges (skip
+            the quadratic solve when the incumbent wins at both interval ends
+            and its control point is nearer the query line, Lemma 1).
+        use_lemma5: subtract the Dijkstra predecessor's visible region before
+            evaluating a node as control point (Lemma 5).
+        use_lemma6: drop visible-region holes whose triangle excludes the
+            node (Lemma 6).  **Off by default**: the paper's proof implicitly
+            assumes the blocking obstacle's silhouette vertex can see the
+            whole hole, which fails in dense scenes (holes shadowed by
+            several obstacles), and the pruned node can then be a genuine
+            control point — this reproduction found concrete counterexamples
+            (see ``tests/test_core_cplc.py::TestLemma6Finding``).  Enable for
+            paper-faithful ablation runs.
+        use_lemma7: cut CPLC's graph traversal at CPLMAX (Lemma 7).
+        use_rlmax: terminate the data scan once the next candidate's mindist
+            exceeds RLMAX (Lemma 2).
+        validate_coverage: after CPLC, extend obstacle retrieval to the
+            maximum claimed distance and recompute until stable (this
+            library's strengthening of IOR; see DESIGN.md).
+    """
+
+    use_lemma1: bool = True
+    use_lemma5: bool = True
+    use_lemma6: bool = False
+    use_lemma7: bool = True
+    use_rlmax: bool = True
+    validate_coverage: bool = True
+
+    @classmethod
+    def paper_faithful(cls) -> "ConnConfig":
+        """Every optimization exactly as published, including Lemma 6."""
+        return cls(use_lemma6=True)
+
+    @classmethod
+    def no_pruning(cls) -> "ConnConfig":
+        """All optional pruning off (correctness baseline / ablation anchor)."""
+        return cls(use_lemma1=False, use_lemma5=False, use_lemma6=False,
+                   use_lemma7=False, use_rlmax=False)
+
+
+DEFAULT_CONFIG = ConnConfig()

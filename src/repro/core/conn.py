@@ -1,0 +1,50 @@
+"""Public CONN / COkNN entry points for the two-tree layout (Algorithm 4).
+
+``P`` and ``O`` live in separate R*-trees (the paper's default, "2T").  For
+the single-tree variant see :mod:`repro.core.conn_1t`.
+"""
+
+from __future__ import annotations
+
+from ..geometry.segment import Segment
+from ..index.rstar import RStarTree
+from ..obstacles.visgraph import LocalVisibilityGraph
+from .config import DEFAULT_CONFIG, ConnConfig
+from .engine import ConnResult, TreeDataSource, run_query
+from .ior import ObstacleRetriever
+from .stats import QueryStats
+
+
+def coknn(data_tree: RStarTree, obstacle_tree: RStarTree, query: Segment,
+          k: int = 1, config: ConnConfig = DEFAULT_CONFIG) -> ConnResult:
+    """Continuous obstructed k-nearest-neighbor query.
+
+    Finds, for every point of ``query``, its ``k`` nearest data points under
+    the obstructed distance.
+
+    Args:
+        data_tree: R*-tree over data points (payload = anything hashable,
+            MBR = the point's degenerate rectangle).
+        obstacle_tree: R*-tree whose payloads are
+            :class:`~repro.obstacles.obstacle.Obstacle` instances.
+        query: the query line segment ``q = [S, E]``.
+        k: number of neighbors per point of ``q``.
+        config: pruning switches (defaults enable everything).
+
+    Returns:
+        A :class:`~repro.core.engine.ConnResult`.
+    """
+    if query.is_degenerate():
+        raise ValueError("query segment is degenerate; use onn() for points")
+    stats = QueryStats()
+    vg = LocalVisibilityGraph(query)
+    retriever = ObstacleRetriever(obstacle_tree, query, vg, stats)
+    source = TreeDataSource(data_tree, query)
+    return run_query(source, retriever, vg, query, k, config,
+                     (data_tree.tracker, obstacle_tree.tracker), stats)
+
+
+def conn(data_tree: RStarTree, obstacle_tree: RStarTree, query: Segment,
+         config: ConnConfig = DEFAULT_CONFIG) -> ConnResult:
+    """Continuous obstructed nearest-neighbor query (k = 1), Definition 6."""
+    return coknn(data_tree, obstacle_tree, query, k=1, config=config)

@@ -1,0 +1,98 @@
+"""Control Point List Computation — CPLC (Algorithm 2).
+
+Given a data point ``p`` whose relevant obstacles are already in the local
+visibility graph, CPLC derives ``p``'s *control point list* over the query
+segment: a piecewise distance function whose piece on interval ``R`` says
+"the shortest path from ``p`` to any ``s in R`` goes through control point
+``cp``, costing ``||p, cp|| + dist(cp, s)``" (Definitions 8-9).
+
+The traversal is Dijkstra order from ``p`` (so each node arrives with its
+final obstructed distance and its shortest-path predecessor), with the
+paper's three optimizations, each independently switchable:
+
+* **Lemma 5** — a node ``v`` need only be considered over ``VR_v - VR_u``
+  where ``u`` is its shortest-path predecessor: wherever ``u`` sees ``q``,
+  the path through ``v`` cannot be shorter.
+* **Lemma 6** — an interval of that difference that is an interior "hole" of
+  ``VR_u`` can be dropped when ``v`` lies outside the triangle spanned by
+  ``u`` and the hole endpoints.
+* **Lemma 7** — the traversal stops once ``||p, v|| >= CPLMAX``, the largest
+  distance the current list already guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..geometry.interval import IntervalSet
+from ..geometry.predicates import point_in_triangle
+from ..obstacles.visgraph import LocalVisibilityGraph
+from .config import DEFAULT_CONFIG, ConnConfig
+from .distance_function import PiecewiseDistance
+from .stats import QueryStats
+
+
+def compute_cpl(vg: LocalVisibilityGraph, point_node: int, owner: Any,
+                cfg: ConnConfig = DEFAULT_CONFIG,
+                stats: QueryStats | None = None) -> PiecewiseDistance:
+    """The control point list of ``point_node``'s point over the query segment.
+
+    Args:
+        vg: local visibility graph already covering the point's search range.
+        point_node: transient graph node of the data point.
+        owner: payload to stamp on every piece (the data point itself).
+
+    Returns:
+        A :class:`PiecewiseDistance` partitioning ``q``; pieces with
+        ``cp=None`` mark parts of ``q`` unreachable from the point.
+    """
+    stats = stats if stats is not None else QueryStats()
+    qseg = vg.qseg
+    cpl = PiecewiseDistance.unknown(qseg, owner)
+    cplmax = cpl.max_endpoint_value()
+    for dist_v, v, pred in vg.dijkstra_order(point_node):
+        if cfg.use_lemma7 and dist_v >= cplmax:
+            stats.lemma7_cutoffs += 1
+            break
+        stats.nodes_expanded += 1
+        region = vg.visible_region_of(v)
+        if cfg.use_lemma5 and pred is not None:
+            vr_pred = vg.visible_region_of(pred)
+            region = region.subtract(vr_pred)
+            if cfg.use_lemma6 and region:
+                region = _lemma6_refine(vg, qseg, region, vr_pred, pred, v,
+                                        stats)
+        if region.is_empty():
+            continue
+        vx, vy = vg.node_point(v)
+        challenger = PiecewiseDistance.from_region(qseg, region, (vx, vy),
+                                                   dist_v, owner)
+        cpl, _loser, changed = cpl.merge_min(challenger, cfg, stats)
+        if changed:
+            cplmax = cpl.max_endpoint_value()
+    return cpl
+
+
+def _lemma6_refine(vg: LocalVisibilityGraph, qseg, region: IntervalSet,
+                   vr_pred: IntervalSet, pred: int, v: int,
+                   stats: QueryStats) -> IntervalSet:
+    """Drop intervals that Lemma 6's triangle test proves irrelevant.
+
+    An interval of ``VR_v - VR_u`` whose endpoints both touch ``VR_u`` is an
+    interior hole of the predecessor's visible region; if ``v`` lies outside
+    the triangle formed by ``u`` and the hole endpoints, the detour via
+    ``v`` can never beat the path around the blocking obstacle.
+    """
+    ux, uy = vg.node_point(pred)
+    vx, vy = vg.node_point(v)
+    kept = []
+    for lo, hi in region:
+        if vr_pred.contains(lo) and vr_pred.contains(hi):
+            p_lo = qseg.point_at(lo)
+            p_hi = qseg.point_at(hi)
+            if not point_in_triangle(vx, vy, ux, uy, p_lo.x, p_lo.y,
+                                     p_hi.x, p_hi.y):
+                stats.lemma6_prunes += 1
+                continue
+        kept.append((lo, hi))
+    return IntervalSet(kept)

@@ -1,0 +1,330 @@
+"""Piecewise obstructed-distance functions over the query segment.
+
+Everything the CONN algorithms maintain — a point's control point list
+(Definition 9), the result list (Definition 6), each level of the COkNN
+k-envelope — is the same mathematical object: a partition of ``q`` into
+intervals, each carrying a *control point* ``cp`` and a *base* path length,
+representing the distance function ``base + dist(cp, q(t))`` on the interval
+(``Piece``).  An empty piece (``cp is None``) means "no path known", value
+``+inf``.
+
+:meth:`PiecewiseDistance.merge_min` is the single primitive both CPLC's
+control-point-list updates and RLU's result-list updates reduce to: the
+pointwise minimum of two such functions, with interval boundaries created
+exactly at the quadratic split points of Section 3 and with the paper's
+Lemma 1 endpoint-dominance rule used to skip solves when one side provably
+dominates.  It returns winner *and* loser, which is what lets the COkNN
+k-level envelope cascade losers downward (Section 4.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.interval import MERGE_EPS, IntervalSet
+from ..geometry.segment import Segment
+from .config import DEFAULT_CONFIG, ConnConfig
+from .split import crossing_params, perpendicular_distance
+from .stats import QueryStats
+
+_TIE_EPS = 1e-9
+"""Value difference below which two paths are considered tied."""
+
+
+@dataclass(frozen=True)
+class Piece:
+    """One interval of a piecewise distance function.
+
+    Attributes:
+        lo, hi: arc-length parameter range on the query segment.
+        cp: control point coordinates, or ``None`` for "unknown/unreachable".
+        base: obstructed path length from the owner to ``cp``.
+        owner: the data point (payload) this distance function belongs to;
+            ``None`` for the initial empty function.
+    """
+
+    lo: float
+    hi: float
+    cp: Optional[Tuple[float, float]]
+    base: float
+    owner: Any
+
+    def value_at(self, qseg: Segment, t: float) -> float:
+        if self.cp is None:
+            return math.inf
+        pt = qseg.point_at(t)
+        return self.base + math.hypot(pt.x - self.cp[0], pt.y - self.cp[1])
+
+    def max_value(self, qseg: Segment) -> float:
+        """Maximum over the piece = max of the endpoint values (convexity)."""
+        if self.cp is None:
+            return math.inf
+        return max(self.value_at(qseg, self.lo), self.value_at(qseg, self.hi))
+
+    def clipped(self, lo: float, hi: float) -> "Piece":
+        return Piece(lo, hi, self.cp, self.base, self.owner)
+
+
+def _same_function(a: Piece, b: Piece) -> bool:
+    """Do two pieces describe the same distance function (ignoring range)?"""
+    if a.owner is not b.owner and a.owner != b.owner:
+        return False
+    if a.cp is None or b.cp is None:
+        return a.cp is None and b.cp is None
+    return (abs(a.cp[0] - b.cp[0]) <= _TIE_EPS and
+            abs(a.cp[1] - b.cp[1]) <= _TIE_EPS and
+            abs(a.base - b.base) <= _TIE_EPS)
+
+
+def _append(pieces: List[Piece], piece: Piece) -> None:
+    """Append with coalescing of adjacent pieces of the same function."""
+    if piece.hi - piece.lo <= MERGE_EPS:
+        return
+    if pieces and _same_function(pieces[-1], piece) and \
+            piece.lo <= pieces[-1].hi + MERGE_EPS:
+        pieces[-1] = Piece(pieces[-1].lo, piece.hi, piece.cp, piece.base,
+                           piece.owner)
+    else:
+        pieces.append(piece)
+
+
+class PiecewiseDistance:
+    """A piecewise distance function partitioning ``[0, length(q)]``."""
+
+    __slots__ = ("qseg", "pieces")
+
+    def __init__(self, qseg: Segment, pieces: Sequence[Piece]):
+        self.qseg = qseg
+        self.pieces: List[Piece] = list(pieces)
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def unknown(cls, qseg: Segment, owner: Any = None) -> "PiecewiseDistance":
+        """The initial "no answer yet" function: one empty piece over all of q."""
+        return cls(qseg, [Piece(0.0, qseg.length, None, math.inf, owner)])
+
+    @classmethod
+    def from_region(cls, qseg: Segment, region: IntervalSet,
+                    cp: Tuple[float, float], base: float,
+                    owner: Any) -> "PiecewiseDistance":
+        """``base + dist(cp, .)`` over ``region``, unknown elsewhere."""
+        pieces: List[Piece] = []
+        cursor = 0.0
+        ln = qseg.length
+        for lo, hi in region:
+            lo = max(lo, 0.0)
+            hi = min(hi, ln)
+            if lo - cursor > MERGE_EPS:
+                _append(pieces, Piece(cursor, lo, None, math.inf, owner))
+            _append(pieces, Piece(max(cursor, lo), hi, cp, base, owner))
+            cursor = max(cursor, hi)
+        if ln - cursor > MERGE_EPS:
+            _append(pieces, Piece(cursor, ln, None, math.inf, owner))
+        if not pieces:
+            return cls.unknown(qseg, owner)
+        return cls(qseg, pieces)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"[{p.lo:.6g},{p.hi:.6g}]@{p.cp}+{p.base:.6g}" for p in self.pieces)
+        return f"PiecewiseDistance({inner})"
+
+    # ------------------------------------------------------------ inspection
+    def piece_at(self, t: float) -> Piece:
+        for p in self.pieces:
+            if p.lo - MERGE_EPS <= t <= p.hi + MERGE_EPS:
+                return p
+        raise ValueError(f"parameter {t} outside [0, {self.qseg.length}]")
+
+    def value(self, t: float) -> float:
+        """Function value at ``t``; on an exact piece boundary, the minimum
+        of the adjoining pieces (matching the vectorized :meth:`values`)."""
+        best = math.inf
+        for p in self.pieces:
+            if p.lo - MERGE_EPS <= t <= p.hi + MERGE_EPS:
+                v = p.value_at(self.qseg, t)
+                if v < best:
+                    best = v
+            elif p.lo > t + MERGE_EPS:
+                break
+        if best == math.inf and not self.pieces:
+            raise ValueError(f"parameter {t} outside [0, {self.qseg.length}]")
+        return best
+
+    def owner_at(self, t: float) -> Any:
+        return self.piece_at(t).owner
+
+    def values(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation at sorted parameters ``ts``."""
+        ts = np.asarray(ts, dtype=np.float64)
+        out = np.full(ts.shape, np.inf)
+        ln = self.qseg.length
+        ux = (self.qseg.bx - self.qseg.ax) / ln
+        uy = (self.qseg.by - self.qseg.ay) / ln
+        for p in self.pieces:
+            mask = (ts >= p.lo - MERGE_EPS) & (ts <= p.hi + MERGE_EPS)
+            if p.cp is None or not mask.any():
+                continue
+            qx = self.qseg.ax + ts[mask] * ux
+            qy = self.qseg.ay + ts[mask] * uy
+            vals = p.base + np.hypot(qx - p.cp[0], qy - p.cp[1])
+            out[mask] = np.minimum(out[mask], vals)
+        return out
+
+    def max_endpoint_value(self) -> float:
+        """RLMAX / CPLMAX: max over pieces of their endpoint values.
+
+        Infinite while any part of ``q`` has no known path (the paper's
+        ``p_i = emptyset  =>  RLMAX = inf`` convention).
+        """
+        worst = 0.0
+        for p in self.pieces:
+            v = p.max_value(self.qseg)
+            if v > worst:
+                worst = v
+                if math.isinf(worst):
+                    break
+        return worst
+
+    def all_unknown(self) -> bool:
+        return all(p.cp is None for p in self.pieces)
+
+    def covered(self) -> bool:
+        return all(p.cp is not None for p in self.pieces)
+
+    def boundaries(self) -> List[float]:
+        out = [self.pieces[0].lo] if self.pieces else []
+        out.extend(p.hi for p in self.pieces)
+        return out
+
+    def split_points(self) -> List[float]:
+        """Interior boundaries where the *owner* changes (paper's split points)."""
+        out: List[float] = []
+        for a, b in zip(self.pieces, self.pieces[1:]):
+            if a.owner is not b.owner and a.owner != b.owner:
+                out.append(a.hi)
+        return out
+
+    def owner_tuples(self) -> List[Tuple[Any, Tuple[float, float]]]:
+        """The user-facing result list: ``(owner, (lo, hi))`` merged by owner."""
+        out: List[Tuple[Any, Tuple[float, float]]] = []
+        for p in self.pieces:
+            key = p.owner if p.cp is not None else None
+            if out and (out[-1][0] is key or out[-1][0] == key):
+                out[-1] = (key, (out[-1][1][0], p.hi))
+            else:
+                out.append((key, (p.lo, p.hi)))
+        return out
+
+    def assert_partition(self) -> None:
+        """Test hook: pieces must exactly partition ``[0, length]`` in order."""
+        assert self.pieces, "no pieces"
+        assert abs(self.pieces[0].lo) <= 1e-6, f"starts at {self.pieces[0].lo}"
+        assert abs(self.pieces[-1].hi - self.qseg.length) <= 1e-6
+        for a, b in zip(self.pieces, self.pieces[1:]):
+            assert abs(a.hi - b.lo) <= 1e-6, f"gap {a.hi} -> {b.lo}"
+            assert a.hi - a.lo > 0, "empty piece"
+
+    # ----------------------------------------------------------------- merge
+    def merge_min(self, other: "PiecewiseDistance",
+                  cfg: ConnConfig = DEFAULT_CONFIG,
+                  stats: QueryStats | None = None
+                  ) -> Tuple["PiecewiseDistance", "PiecewiseDistance", bool]:
+        """Pointwise minimum against a challenger function.
+
+        Returns:
+            ``(winner, loser, changed)`` — the minimum envelope, the
+            pointwise-maximum remainder (for k-level cascading), and whether
+            the challenger won anywhere.  Ties keep the incumbent.
+        """
+        qseg = self.qseg
+        stats = stats if stats is not None else QueryStats()
+        win: List[Piece] = []
+        lose: List[Piece] = []
+        changed = False
+        ia = ib = 0
+        A = self.pieces
+        B = other.pieces
+        cursor = 0.0
+        while ia < len(A) and ib < len(B):
+            pa = A[ia]
+            pb = B[ib]
+            nxt = min(pa.hi, pb.hi)
+            if nxt - cursor > MERGE_EPS:
+                challenger_won = self._resolve(pa, pb, cursor, nxt, win, lose,
+                                               cfg, stats)
+                changed = changed or challenger_won
+            cursor = nxt
+            if pa.hi <= nxt + MERGE_EPS:
+                ia += 1
+            if pb.hi <= nxt + MERGE_EPS:
+                ib += 1
+        return (PiecewiseDistance(qseg, win), PiecewiseDistance(qseg, lose),
+                changed)
+
+    def _resolve(self, pa: Piece, pb: Piece, lo: float, hi: float,
+                 win: List[Piece], lose: List[Piece],
+                 cfg: ConnConfig, stats: QueryStats) -> bool:
+        """Resolve one overlap interval; returns True when challenger won any part."""
+        qseg = self.qseg
+        if pb.cp is None:
+            _append(win, pa.clipped(lo, hi))
+            _append(lose, pb.clipped(lo, hi))
+            return False
+        if pa.cp is None:
+            _append(win, pb.clipped(lo, hi))
+            _append(lose, pa.clipped(lo, hi))
+            return True
+        # Identical control points: the smaller base wins outright.
+        if (abs(pa.cp[0] - pb.cp[0]) <= _TIE_EPS and
+                abs(pa.cp[1] - pb.cp[1]) <= _TIE_EPS):
+            if pb.base < pa.base - _TIE_EPS:
+                _append(win, pb.clipped(lo, hi))
+                _append(lose, pa.clipped(lo, hi))
+                return True
+            _append(win, pa.clipped(lo, hi))
+            _append(lose, pb.clipped(lo, hi))
+            return False
+
+        va_lo = pa.value_at(qseg, lo)
+        va_hi = pa.value_at(qseg, hi)
+        vb_lo = pb.value_at(qseg, lo)
+        vb_hi = pb.value_at(qseg, hi)
+        if cfg.use_lemma1:
+            # Lemma 1: endpoint dominance plus the farther-control-point
+            # condition proves dominance over the whole interval.
+            h_a = perpendicular_distance(qseg, pa.cp[0], pa.cp[1])
+            h_b = perpendicular_distance(qseg, pb.cp[0], pb.cp[1])
+            if va_lo <= vb_lo + _TIE_EPS and va_hi <= vb_hi + _TIE_EPS and \
+                    h_b >= h_a:
+                stats.lemma1_prunes += 1
+                _append(win, pa.clipped(lo, hi))
+                _append(lose, pb.clipped(lo, hi))
+                return False
+            if vb_lo < va_lo - _TIE_EPS and vb_hi < va_hi - _TIE_EPS and \
+                    h_a >= h_b:
+                stats.lemma1_prunes += 1
+                _append(win, pb.clipped(lo, hi))
+                _append(lose, pa.clipped(lo, hi))
+                return True
+
+        stats.split_solves += 1
+        roots = crossing_params(qseg, pb.cp, pb.base, pa.cp, pa.base, lo, hi)
+        edges = [lo, *roots, hi]
+        challenger_won = False
+        for x0, x1 in zip(edges, edges[1:]):
+            if x1 - x0 <= MERGE_EPS:
+                continue
+            mid = 0.5 * (x0 + x1)
+            if pb.value_at(qseg, mid) < pa.value_at(qseg, mid) - _TIE_EPS:
+                _append(win, pb.clipped(x0, x1))
+                _append(lose, pa.clipped(x0, x1))
+                challenger_won = True
+            else:
+                _append(win, pa.clipped(x0, x1))
+                _append(lose, pb.clipped(x0, x1))
+        return challenger_won

@@ -1,0 +1,95 @@
+"""Incremental Obstacle Retrieval — IOR (Algorithm 1) plus coverage validation.
+
+Obstacles are pulled from the obstacle R*-tree in ascending ``mindist`` to
+the query segment through a best-first scan that persists across the whole
+query, so the obstacle tree is traversed at most once (Section 4.1).  The
+retrieval *radius* only ever grows:
+
+1. :func:`ior_fixpoint` implements Algorithm 1 for a data point ``p``: grow
+   the radius to ``max(|SP(p, S)|, |SP(p, E)|)`` computed on the current
+   local visibility graph, re-running Dijkstra whenever new obstacles change
+   the graph, until the paths are stable.  Lemma 3 then guarantees they are
+   the true shortest paths, and Theorem 2 + Lemma 4 that every obstacle that
+   can affect ``p``'s obstructed distances to ``q`` is in the graph.
+2. :meth:`ObstacleRetriever.ensure` is also called by the engine's coverage
+   validation (see DESIGN.md "Deviations"): after CPLC, retrieval is extended
+   to the maximum claimed distance CPLMAX, which provably covers every
+   obstacle any claimed path could cross.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Protocol
+
+from ..geometry.predicates import EPS
+from ..geometry.segment import Segment
+from ..index.nearest import IncrementalNearest
+from ..index.rstar import RStarTree
+from ..obstacles.obstacle import Obstacle
+from ..obstacles.visgraph import LocalVisibilityGraph
+from .stats import QueryStats
+
+
+class ObstacleSource(Protocol):
+    """What the engine needs from an obstacle feed (2T scan or 1T unified heap)."""
+
+    radius: float
+
+    def ensure(self, radius: float) -> int:
+        """Grow coverage to ``radius``; return number of obstacles added."""
+        ...  # pragma: no cover - protocol
+
+
+class ObstacleRetriever:
+    """Best-first obstacle feed from a dedicated obstacle R*-tree (2T mode)."""
+
+    def __init__(self, obstacle_tree: RStarTree, qseg: Segment,
+                 vg: LocalVisibilityGraph, stats: QueryStats):
+        self._scan = IncrementalNearest(
+            obstacle_tree,
+            lambda rect: rect.mindist_segment(qseg.ax, qseg.ay, qseg.bx, qseg.by))
+        self._vg = vg
+        self._stats = stats
+        self.radius = 0.0
+
+    def ensure(self, radius: float) -> int:
+        """Retrieve every obstacle with ``mindist(o, q) <= radius``."""
+        if radius <= self.radius:
+            return 0
+        batch: List[Obstacle] = []
+        while True:
+            key = self._scan.peek_key()
+            if math.isinf(key) or key > radius:
+                break
+            _d, obstacle, _rect = self._scan.pop()
+            batch.append(obstacle)
+        added = self._vg.add_obstacles(batch)
+        self._stats.noe += added
+        self.radius = radius
+        return added
+
+
+def ior_fixpoint(vg: LocalVisibilityGraph, retriever: ObstacleSource,
+                 point_node: int, stats: QueryStats) -> None:
+    """Algorithm 1: stabilize the shortest paths from ``point_node`` to S and E.
+
+    Each round computes the local shortest-path lengths to both query
+    endpoints and, if they exceed the current retrieval radius, pulls in all
+    obstacles up to that length — which may invalidate edges and lengthen the
+    paths, so the loop repeats until a fixpoint (Lemma 3).
+    """
+    while True:
+        dists = vg.shortest_distances(point_node, (vg.S, vg.E))
+        d_prime = max(dists[vg.S], dists[vg.E])
+        if d_prime <= retriever.radius + EPS:
+            return
+        if math.isinf(d_prime):
+            # The point (or an endpoint) is currently unreachable: only the
+            # complete obstacle set can confirm it.  ``ensure(inf)`` drains
+            # the scan once; the next round then terminates.
+            if retriever.ensure(math.inf) == 0:
+                return
+            continue
+        if retriever.ensure(d_prime) == 0:
+            return

@@ -1,0 +1,70 @@
+"""Obstructed range queries (Zhang et al. [31], the query family the paper
+extends).
+
+``obstructed_range`` finds every data point whose *obstructed* distance to a
+query point is at most ``radius``.  Euclidean distance lower-bounds the
+obstructed distance, so a best-first scan of the data R*-tree can stop as
+soon as the next candidate's Euclidean mindist exceeds ``radius``; each
+surviving candidate's exact obstructed distance is computed on the shared
+local visibility graph with Lemma 3's retrieval bound.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, List, Tuple
+
+from ..geometry.predicates import EPS
+from ..geometry.segment import Segment
+from ..index.nearest import IncrementalNearest
+from ..index.rstar import RStarTree
+from ..obstacles.visgraph import LocalVisibilityGraph
+from .ior import ObstacleRetriever
+from .onn import _stable_distance
+from .stats import QueryStats
+
+
+def obstructed_range(data_tree: RStarTree, obstacle_tree: RStarTree,
+                     x: float, y: float, radius: float
+                     ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
+    """All points within obstructed distance ``radius`` of ``(x, y)``.
+
+    Returns:
+        ``(matches, stats)`` with matches as ``(payload, obstructed_distance)``
+        pairs in ascending distance order.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    stats = QueryStats()
+    snapshots = [(t, t.stats.snapshot())
+                 for t in (data_tree.tracker, obstacle_tree.tracker)]
+    started = time.perf_counter()
+    anchor = Segment(x, y, x, y)
+    vg = LocalVisibilityGraph(anchor)
+    retriever = ObstacleRetriever(obstacle_tree, anchor, vg, stats)
+    scan = IncrementalNearest(data_tree, lambda rect: rect.mindist_point(x, y))
+    matches: List[Tuple[float, Any]] = []
+    while True:
+        key = scan.peek_key()
+        if math.isinf(key) or key > radius + EPS:
+            break
+        _d, payload, rect = scan.pop()
+        stats.npe += 1
+        cx, cy = rect.center()
+        node = vg.add_point(cx, cy)
+        try:
+            odist = _stable_distance(vg, retriever, node, vg.S)
+        finally:
+            vg.remove_point(node)
+        if odist <= radius + EPS:
+            matches.append((odist, payload))
+    matches.sort()
+    stats.cpu_time_s += time.perf_counter() - started
+    stats.svg_size = vg.svg_size
+    stats.visibility_tests = vg.visibility_tests
+    for tracker, snap in snapshots:
+        delta = tracker.stats.delta(snap)
+        stats.io.logical_reads += delta.logical_reads
+        stats.io.page_faults += delta.page_faults
+    return [(payload, d) for d, payload in matches], stats

@@ -1,0 +1,85 @@
+"""Per-query statistics matching the paper's performance metrics.
+
+Section 5.1 reports: I/O cost (pages accessed, 10 ms charged per fault),
+CPU time, query cost (= I/O time + CPU time), visibility-graph size |SVG|,
+number of points evaluated (NPE), and number of obstacles evaluated (NOE).
+:class:`QueryStats` carries all of them plus internal counters used by the
+ablation study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..index.pagestore import IO_MS_PER_FAULT, IOStats
+
+
+@dataclass
+class QueryStats:
+    """Counters accumulated while answering one CONN/COkNN/ONN query."""
+
+    npe: int = 0
+    """Data points evaluated (paper's NPE)."""
+
+    noe: int = 0
+    """Obstacles inserted into the local visibility graph (paper's NOE)."""
+
+    svg_size: int = 0
+    """Vertices in the local visibility graph at query end (paper's |SVG|)."""
+
+    io: IOStats = field(default_factory=IOStats)
+    """Page accesses charged to this query (delta over the query's trees)."""
+
+    cpu_time_s: float = 0.0
+    """Wall-clock compute time spent inside the query."""
+
+    nodes_expanded: int = 0
+    """Visibility-graph nodes processed by CPLC."""
+
+    split_solves: int = 0
+    """Quadratic split-point computations performed."""
+
+    lemma1_prunes: int = 0
+    """Envelope merges decided by Lemma 1 without solving."""
+
+    lemma6_prunes: int = 0
+    """Candidate intervals dropped by Lemma 6's triangle test."""
+
+    lemma7_cutoffs: int = 0
+    """CPLC traversals cut short by Lemma 7."""
+
+    coverage_rounds: int = 0
+    """Extra retrieval rounds forced by coverage validation."""
+
+    visibility_tests: int = 0
+    """Sight-line tests performed by the visibility graph."""
+
+    @property
+    def io_time_ms(self) -> float:
+        """Charged I/O time (10 ms per page fault, as in the paper)."""
+        return self.io.page_faults * IO_MS_PER_FAULT
+
+    @property
+    def cpu_time_ms(self) -> float:
+        return self.cpu_time_s * 1000.0
+
+    @property
+    def total_time_ms(self) -> float:
+        """The paper's *query cost*: I/O time plus CPU time."""
+        return self.io_time_ms + self.cpu_time_ms
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another query's counters into this one (for averages)."""
+        self.npe += other.npe
+        self.noe += other.noe
+        self.svg_size += other.svg_size
+        self.io.logical_reads += other.io.logical_reads
+        self.io.page_faults += other.io.page_faults
+        self.cpu_time_s += other.cpu_time_s
+        self.nodes_expanded += other.nodes_expanded
+        self.split_solves += other.split_solves
+        self.lemma1_prunes += other.lemma1_prunes
+        self.lemma6_prunes += other.lemma6_prunes
+        self.lemma7_cutoffs += other.lemma7_cutoffs
+        self.coverage_rounds += other.coverage_rounds
+        self.visibility_tests += other.visibility_tests

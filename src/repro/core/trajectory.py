@@ -1,0 +1,119 @@
+"""Trajectory CONN — the paper's first "future work" direction (Section 6).
+
+A *trajectory* is a polyline of consecutive line segments.  A trajectory
+CONN query retrieves the obstructed (k-)nearest neighbors of every point
+along the whole polyline.  Each leg is answered by the standard COkNN engine
+(sharing nothing across legs keeps each leg's pruning radii tight); results
+are stitched into one answer addressed by *global* arc length from the
+trajectory's start.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from ..geometry.predicates import EPS
+from ..geometry.segment import Segment
+from ..index.rstar import RStarTree
+from .config import DEFAULT_CONFIG, ConnConfig
+from .conn import coknn
+from .engine import ConnResult
+from .stats import QueryStats
+
+
+class TrajectoryResult:
+    """Answer of a trajectory CONN/COkNN query over a polyline."""
+
+    def __init__(self, waypoints: Sequence[Tuple[float, float]],
+                 legs: Sequence[ConnResult], k: int):
+        self.waypoints = [(float(x), float(y)) for x, y in waypoints]
+        self.legs = list(legs)
+        self.k = k
+        self._offsets: List[float] = [0.0]
+        for leg in self.legs:
+            self._offsets.append(self._offsets[-1] + leg.qseg.length)
+        self.stats = QueryStats()
+        for leg in self.legs:
+            self.stats.merge(leg.stats)
+        self.stats.svg_size = max((leg.stats.svg_size for leg in self.legs),
+                                  default=0)
+
+    @property
+    def length(self) -> float:
+        """Total arc length of the trajectory."""
+        return self._offsets[-1]
+
+    def _locate(self, t: float) -> Tuple[ConnResult, float]:
+        """Map global arc length to ``(leg, local parameter)``."""
+        if not self.legs:
+            raise ValueError("empty trajectory result")
+        t = min(max(t, 0.0), self.length)
+        for i, leg in enumerate(self.legs):
+            if t <= self._offsets[i + 1] + EPS:
+                return leg, t - self._offsets[i]
+        return self.legs[-1], self.legs[-1].qseg.length
+
+    def owner_at(self, t: float) -> Any:
+        """Obstructed NN at global arc length ``t``."""
+        leg, local = self._locate(t)
+        return leg.owner_at(local)
+
+    def distance(self, t: float) -> float:
+        leg, local = self._locate(t)
+        return leg.distance(local)
+
+    def knn_at(self, t: float) -> List[Tuple[Any, float]]:
+        leg, local = self._locate(t)
+        return leg.knn_at(local)
+
+    def tuples(self) -> List[Tuple[Any, Tuple[float, float]]]:
+        """Result list over the whole polyline in global arc length.
+
+        Adjacent intervals with the same owner merge across leg boundaries,
+        so a neighbor that stays nearest through a turn yields one tuple.
+        """
+        out: List[Tuple[Any, Tuple[float, float]]] = []
+        for i, leg in enumerate(self.legs):
+            off = self._offsets[i]
+            for owner, (lo, hi) in leg.tuples():
+                glo, ghi = off + lo, off + hi
+                if out and (out[-1][0] is owner or out[-1][0] == owner) and \
+                        abs(out[-1][1][1] - glo) <= EPS:
+                    out[-1] = (owner, (out[-1][1][0], ghi))
+                else:
+                    out.append((owner, (glo, ghi)))
+        return out
+
+    def split_points(self) -> List[float]:
+        """Global arc lengths where the nearest neighbor changes."""
+        return [lo for _owner, (lo, _hi) in self.tuples()[1:]]
+
+
+def trajectory_coknn(data_tree: RStarTree, obstacle_tree: RStarTree,
+                     waypoints: Sequence[Tuple[float, float]], k: int = 1,
+                     config: ConnConfig = DEFAULT_CONFIG) -> TrajectoryResult:
+    """Continuous obstructed k-NN along a polyline trajectory.
+
+    Args:
+        waypoints: at least two vertices of the polyline; zero-length legs
+            are skipped.
+    """
+    if len(waypoints) < 2:
+        raise ValueError("a trajectory needs at least two waypoints")
+    legs: List[ConnResult] = []
+    for (ax, ay), (bx, by) in zip(waypoints, waypoints[1:]):
+        seg = Segment(float(ax), float(ay), float(bx), float(by))
+        if seg.is_degenerate():
+            continue
+        legs.append(coknn(data_tree, obstacle_tree, seg, k=k, config=config))
+    if not legs:
+        raise ValueError("trajectory has no leg of positive length")
+    return TrajectoryResult(waypoints, legs, k)
+
+
+def trajectory_conn(data_tree: RStarTree, obstacle_tree: RStarTree,
+                    waypoints: Sequence[Tuple[float, float]],
+                    config: ConnConfig = DEFAULT_CONFIG) -> TrajectoryResult:
+    """Continuous obstructed NN (k = 1) along a polyline trajectory."""
+    return trajectory_coknn(data_tree, obstacle_tree, waypoints, k=1,
+                            config=config)

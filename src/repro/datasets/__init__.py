@@ -1,0 +1,35 @@
+"""Dataset generators: synthetic distributions and CA/LA-like stand-ins."""
+
+from .real_like import (
+    CA_SIZE,
+    LA_SIZE,
+    california_like_points,
+    la_street_obstacles,
+)
+from .synthetic import (
+    SPACE,
+    ObstacleGrid,
+    gaussian_cluster_points,
+    random_rect_obstacles,
+    random_segment_obstacles,
+    reject_inside_obstacles,
+    uniform_points,
+    zipf_points,
+    zipf_value,
+)
+
+__all__ = [
+    "CA_SIZE",
+    "LA_SIZE",
+    "ObstacleGrid",
+    "SPACE",
+    "california_like_points",
+    "gaussian_cluster_points",
+    "la_street_obstacles",
+    "random_rect_obstacles",
+    "random_segment_obstacles",
+    "reject_inside_obstacles",
+    "uniform_points",
+    "zipf_points",
+    "zipf_value",
+]

@@ -1,0 +1,102 @@
+"""Synthetic stand-ins for the paper's real datasets (see DESIGN.md §3).
+
+The paper evaluates on two real datasets from the (long defunct) R-tree
+portal, unavailable offline:
+
+* **CA** — 60,344 California location points: strongly clustered, arranged
+  along a roughly diagonal (NW-SE) populated band.
+* **LA** — 131,461 MBRs of Los Angeles streets: thin, axis-dominated,
+  near-disjoint rectangles laid out in a block pattern.
+
+``california_like_points`` strings Gaussian clusters along a noisy diagonal
+band; ``la_street_obstacles`` emits thin street MBRs on a jittered block
+grid with random gaps.  Both live in the same normalized ``[0, 10000]^2``
+space and, for the query algorithms, reproduce the properties that matter:
+R-tree locality, skew, obstacle thinness and density.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from ..obstacles.obstacle import Obstacle, RectObstacle
+from .synthetic import SPACE, Bounds, XY, gaussian_cluster_points
+
+CA_SIZE = 60344
+"""Cardinality of the paper's CA dataset."""
+
+LA_SIZE = 131461
+"""Cardinality of the paper's LA dataset."""
+
+
+def california_like_points(n: int, rng: random.Random,
+                           bounds: Bounds = SPACE,
+                           num_clusters: int = 48) -> List[XY]:
+    """``n`` clustered points along a diagonal band (CA substitute)."""
+    xlo, ylo, xhi, yhi = bounds
+    w = xhi - xlo
+    h = yhi - ylo
+    centers: List[XY] = []
+    for i in range(num_clusters):
+        f = (i + 0.5) / num_clusters
+        # A coastline-ish arc from the top-left to the bottom-right corner
+        # with lateral noise; clusters thin out toward the ends.
+        cx = xlo + w * (0.08 + 0.84 * f) + rng.gauss(0.0, 0.04 * w)
+        cy = ylo + h * (0.92 - 0.84 * f) + rng.gauss(0.0, 0.10 * h)
+        cx = min(max(cx, xlo), xhi)
+        cy = min(max(cy, ylo), yhi)
+        centers.append((cx, cy))
+    sigma = 0.035 * min(w, h)
+    return gaussian_cluster_points(n, rng, centers, sigma, bounds)
+
+
+def la_street_obstacles(n: int, rng: random.Random,
+                        bounds: Bounds = SPACE,
+                        thickness_range: Tuple[float, float] = (4.0, 14.0),
+                        fill: float = 0.82) -> List[Obstacle]:
+    """``n`` thin street MBRs on a jittered block grid (LA substitute).
+
+    Alternating horizontal and vertical street segments span grid blocks;
+    ``fill`` is the probability a grid slot holds a street, producing the
+    gaps and irregularity of a real street map.  Streets are near-disjoint
+    thin rectangles, so the free space stays connected — matching how the
+    paper's algorithms experience the LA data.
+    """
+    if n <= 0:
+        return []
+    xlo, ylo, xhi, yhi = bounds
+    w = xhi - xlo
+    h = yhi - ylo
+    # Two street slots (one horizontal, one vertical) per block; choose the
+    # grid so the expected slot count comfortably exceeds n.
+    blocks = max(2, math.ceil(math.sqrt(n / (2.0 * fill))))
+    bw = w / blocks
+    bh = h / blocks
+    out: List[Obstacle] = []
+    slots: List[Tuple[int, int, bool]] = [
+        (i, j, horizontal)
+        for i in range(blocks) for j in range(blocks)
+        for horizontal in (True, False)
+    ]
+    rng.shuffle(slots)
+    for i, j, horizontal in slots:
+        if len(out) >= n:
+            break
+        if rng.random() > fill:
+            continue
+        t = rng.uniform(*thickness_range)
+        if horizontal:
+            # A street along the bottom edge of block (i, j).
+            x0 = xlo + i * bw + rng.uniform(0.0, 0.25) * bw
+            x1 = xlo + (i + 1) * bw - rng.uniform(0.0, 0.25) * bw
+            y0 = ylo + j * bh + rng.uniform(0.05, 0.4) * bh
+            rect = (x0, y0, max(x1, x0 + t), y0 + t)
+        else:
+            y0 = ylo + j * bh + rng.uniform(0.0, 0.25) * bh
+            y1 = ylo + (j + 1) * bh - rng.uniform(0.0, 0.25) * bh
+            x0 = xlo + i * bw + rng.uniform(0.05, 0.4) * bw
+            rect = (x0, y0, x0 + t, max(y1, y0 + t))
+        out.append(RectObstacle(*rect))
+    return out

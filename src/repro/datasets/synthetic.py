@@ -1,0 +1,167 @@
+"""Synthetic dataset generators (Section 5.1 of the paper).
+
+The paper's synthetic data: points drawn uniformly or with zipf skew
+(coefficient alpha = 0.8) over a normalized ``[0, 10000]^2`` space, with the
+two coordinates independent.  Obstacle generators produce rectangles or thin
+segment "walls".  All generators are deterministic given a seeded
+``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..obstacles.obstacle import Obstacle, RectObstacle, SegmentObstacle
+
+SPACE = (0.0, 0.0, 10000.0, 10000.0)
+"""The paper's normalized search space."""
+
+Bounds = Tuple[float, float, float, float]
+XY = Tuple[float, float]
+
+
+def uniform_points(n: int, rng: random.Random,
+                   bounds: Bounds = SPACE) -> List[XY]:
+    """``n`` points uniform in ``bounds``, coordinates independent."""
+    xlo, ylo, xhi, yhi = bounds
+    return [(rng.uniform(xlo, xhi), rng.uniform(ylo, yhi)) for _ in range(n)]
+
+
+def zipf_value(rng: random.Random, alpha: float) -> float:
+    """One zipf-skewed value in ``[0, 1]`` with skew coefficient ``alpha``.
+
+    Inverse-CDF of the continuous zipf-like density ``f(x) ~ x^(-alpha)`` on
+    ``(0, 1]``: small values are heavily favored as ``alpha -> 1``.
+    """
+    if not 0.0 <= alpha < 1.0:
+        raise ValueError("alpha must be in [0, 1)")
+    u = rng.random()
+    return u ** (1.0 / (1.0 - alpha))
+
+
+def zipf_points(n: int, rng: random.Random, alpha: float = 0.8,
+                bounds: Bounds = SPACE) -> List[XY]:
+    """``n`` points with independent zipf-skewed coordinates (paper default
+    ``alpha = 0.8``), skewed toward the low corner of ``bounds``."""
+    xlo, ylo, xhi, yhi = bounds
+    return [(xlo + (xhi - xlo) * zipf_value(rng, alpha),
+             ylo + (yhi - ylo) * zipf_value(rng, alpha)) for _ in range(n)]
+
+
+def gaussian_cluster_points(n: int, rng: random.Random,
+                            centers: Sequence[XY], sigma: float,
+                            bounds: Bounds = SPACE) -> List[XY]:
+    """``n`` points from an equal-weight Gaussian mixture, clipped to bounds."""
+    xlo, ylo, xhi, yhi = bounds
+    out: List[XY] = []
+    while len(out) < n:
+        cx, cy = centers[rng.randrange(len(centers))]
+        x = rng.gauss(cx, sigma)
+        y = rng.gauss(cy, sigma)
+        if xlo <= x <= xhi and ylo <= y <= yhi:
+            out.append((x, y))
+    return out
+
+
+def random_rect_obstacles(n: int, rng: random.Random,
+                          width_range: Tuple[float, float] = (20.0, 200.0),
+                          height_range: Tuple[float, float] = (20.0, 200.0),
+                          bounds: Bounds = SPACE) -> List[Obstacle]:
+    """``n`` axis-aligned rectangular obstacles with uniform extents."""
+    xlo, ylo, xhi, yhi = bounds
+    out: List[Obstacle] = []
+    for _ in range(n):
+        w = rng.uniform(*width_range)
+        h = rng.uniform(*height_range)
+        x = rng.uniform(xlo, xhi - w)
+        y = rng.uniform(ylo, yhi - h)
+        out.append(RectObstacle(x, y, x + w, y + h))
+    return out
+
+
+def random_segment_obstacles(n: int, rng: random.Random,
+                             length_range: Tuple[float, float] = (50.0, 400.0),
+                             bounds: Bounds = SPACE) -> List[Obstacle]:
+    """``n`` thin-wall obstacles with uniform position and orientation."""
+    import math
+
+    xlo, ylo, xhi, yhi = bounds
+    out: List[Obstacle] = []
+    for _ in range(n):
+        ln = rng.uniform(*length_range)
+        theta = rng.uniform(0.0, 2.0 * math.pi)
+        x = rng.uniform(xlo, xhi)
+        y = rng.uniform(ylo, yhi)
+        bx = min(max(x + ln * math.cos(theta), xlo), xhi)
+        by = min(max(y + ln * math.sin(theta), ylo), yhi)
+        out.append(SegmentObstacle(x, y, bx, by))
+    return out
+
+
+class ObstacleGrid:
+    """A uniform grid over rectangular obstacle interiors for fast lookups.
+
+    Used by generators (reject points inside obstacles) and by the workload
+    generator (reject query segments crossing obstacle interiors) without an
+    R-tree dependency.
+    """
+
+    def __init__(self, obstacles: Sequence[Obstacle], bounds: Bounds = SPACE,
+                 cells: int = 64):
+        self.bounds = bounds
+        self.cells = cells
+        self._grid: dict[Tuple[int, int], List[RectObstacle]] = {}
+        xlo, ylo, xhi, yhi = bounds
+        self._sx = cells / (xhi - xlo)
+        self._sy = cells / (yhi - ylo)
+        for o in obstacles:
+            if not isinstance(o, RectObstacle):
+                continue
+            r = o.rect
+            for cx in range(self._cell_x(r.xlo), self._cell_x(r.xhi) + 1):
+                for cy in range(self._cell_y(r.ylo), self._cell_y(r.yhi) + 1):
+                    self._grid.setdefault((cx, cy), []).append(o)
+
+    def _cell_x(self, x: float) -> int:
+        return min(max(int((x - self.bounds[0]) * self._sx), 0), self.cells - 1)
+
+    def _cell_y(self, y: float) -> int:
+        return min(max(int((y - self.bounds[1]) * self._sy), 0), self.cells - 1)
+
+    def inside_any(self, x: float, y: float) -> bool:
+        """True iff ``(x, y)`` is strictly inside some rectangular obstacle."""
+        for o in self._grid.get((self._cell_x(x), self._cell_y(y)), ()):
+            if o.rect.contains_point_open(x, y):
+                return True
+        return False
+
+    def candidates_near(self, xlo: float, ylo: float,
+                        xhi: float, yhi: float) -> List[RectObstacle]:
+        """Obstacles whose cells overlap the given box (may contain duplicates)."""
+        out: List[RectObstacle] = []
+        for cx in range(self._cell_x(xlo), self._cell_x(xhi) + 1):
+            for cy in range(self._cell_y(ylo), self._cell_y(yhi) + 1):
+                out.extend(self._grid.get((cx, cy), ()))
+        return out
+
+
+def reject_inside_obstacles(points: List[XY], obstacles: Sequence[Obstacle],
+                            rng: random.Random,
+                            bounds: Bounds = SPACE) -> List[XY]:
+    """Resample any point strictly inside an obstacle interior.
+
+    The paper allows points *on* obstacle boundaries but not inside
+    (Section 5.1); replacement points are drawn uniformly.
+    """
+    grid = ObstacleGrid(obstacles, bounds)
+    xlo, ylo, xhi, yhi = bounds
+    out: List[XY] = []
+    for x, y in points:
+        attempts = 0
+        while grid.inside_any(x, y) and attempts < 1000:
+            x = rng.uniform(xlo, xhi)
+            y = rng.uniform(ylo, yhi)
+            attempts += 1
+        out.append((x, y))
+    return out

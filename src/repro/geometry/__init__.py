@@ -1,0 +1,51 @@
+"""Planar geometry kernel: points, segments, rectangles, interval sets.
+
+Everything above this package (R*-tree, visibility graphs, CONN processing)
+expresses its geometry through these primitives.
+"""
+
+from .interval import MERGE_EPS, IntervalSet
+from .point import Point, as_point, dist, dist_sq, lerp, midpoint
+from .predicates import (
+    EPS,
+    clip_segment_to_rect,
+    line_line_intersection,
+    orient,
+    orient_sign,
+    point_in_rect_closed,
+    point_in_rect_open,
+    point_in_triangle,
+    point_seg_dist,
+    seg_seg_dist,
+    segment_crosses_rect_interior,
+    segments_intersect,
+    segments_properly_cross,
+)
+from .rectangle import Rect
+from .segment import Segment
+
+__all__ = [
+    "EPS",
+    "MERGE_EPS",
+    "IntervalSet",
+    "Point",
+    "Rect",
+    "Segment",
+    "as_point",
+    "clip_segment_to_rect",
+    "dist",
+    "dist_sq",
+    "lerp",
+    "line_line_intersection",
+    "midpoint",
+    "orient",
+    "orient_sign",
+    "point_in_rect_closed",
+    "point_in_rect_open",
+    "point_in_triangle",
+    "point_seg_dist",
+    "seg_seg_dist",
+    "segment_crosses_rect_interior",
+    "segments_intersect",
+    "segments_properly_cross",
+]

@@ -1,0 +1,204 @@
+"""One-dimensional interval sets over the query segment's parameter axis.
+
+Visible regions, control-point regions, and result-list regions are all
+subsets of the query segment ``q``, represented here as sorted lists of
+disjoint closed intervals ``[lo, hi]`` in arc-length coordinates.  The CONN
+algorithms lean on this class for every region operation (Lemma 5's
+``VR_v - VR_u``, RLU's interval intersections, and so on), so the invariants
+are strict and eps-guarded:
+
+* intervals are sorted by ``lo``;
+* consecutive intervals are separated by more than ``merge_eps``;
+* every interval has positive measure (``hi - lo > merge_eps``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+MERGE_EPS = 1e-9
+"""Intervals closer than this are coalesced; thinner than this are dropped."""
+
+Interval = Tuple[float, float]
+
+
+class IntervalSet:
+    """A set of disjoint closed intervals on a line, with set algebra."""
+
+    __slots__ = ("_ivals",)
+
+    def __init__(self, intervals: Iterable[Interval] = (), *, _trusted: bool = False):
+        if _trusted:
+            self._ivals: List[Interval] = list(intervals)
+        else:
+            self._ivals = _normalize(intervals)
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return cls((), _trusted=True)
+
+    @classmethod
+    def full(cls, lo: float, hi: float) -> "IntervalSet":
+        if hi - lo <= MERGE_EPS:
+            return cls.empty()
+        return cls([(lo, hi)], _trusted=True)
+
+    # ------------------------------------------------------------ inspection
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivals)
+
+    def __len__(self) -> int:
+        return len(self._ivals)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        if len(self._ivals) != len(other._ivals):
+            return False
+        return all(abs(a[0] - b[0]) <= MERGE_EPS and abs(a[1] - b[1]) <= MERGE_EPS
+                   for a, b in zip(self._ivals, other._ivals))
+
+    def __hash__(self):  # pragma: no cover - sets are not meant to be hashed
+        raise TypeError("IntervalSet is unhashable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{lo:.6g}, {hi:.6g}]" for lo, hi in self._ivals)
+        return f"IntervalSet({inner})"
+
+    @property
+    def intervals(self) -> List[Interval]:
+        """The underlying sorted interval list (do not mutate)."""
+        return self._ivals
+
+    def measure(self) -> float:
+        """Total length covered."""
+        return sum(hi - lo for lo, hi in self._ivals)
+
+    def is_empty(self) -> bool:
+        return not self._ivals
+
+    def span(self) -> Interval | None:
+        """``(min lo, max hi)`` or ``None`` when empty."""
+        if not self._ivals:
+            return None
+        return (self._ivals[0][0], self._ivals[-1][1])
+
+    def contains(self, t: float, eps: float = MERGE_EPS) -> bool:
+        """True iff ``t`` lies in some interval (eps-grown)."""
+        lo_idx = _bisect_hi(self._ivals, t - eps)
+        if lo_idx >= len(self._ivals):
+            return False
+        lo, hi = self._ivals[lo_idx]
+        return lo - eps <= t <= hi + eps
+
+    # ------------------------------------------------------------- operators
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        if not self._ivals:
+            return IntervalSet(other._ivals, _trusted=True)
+        if not other._ivals:
+            return IntervalSet(self._ivals, _trusted=True)
+        return IntervalSet(_merge_sorted(self._ivals, other._ivals))
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        out: List[Interval] = []
+        a = self._ivals
+        b = other._ivals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if hi - lo > MERGE_EPS:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(out, _trusted=True)
+
+    def subtract(self, other: "IntervalSet") -> "IntervalSet":
+        out: List[Interval] = []
+        b = other._ivals
+        j = 0
+        for lo, hi in self._ivals:
+            cur = lo
+            while j < len(b) and b[j][1] <= cur:
+                j += 1
+            k = j
+            while k < len(b) and b[k][0] < hi:
+                blo, bhi = b[k]
+                if blo - cur > MERGE_EPS:
+                    out.append((cur, min(blo, hi)))
+                cur = max(cur, bhi)
+                if cur >= hi:
+                    break
+                k += 1
+            if hi - cur > MERGE_EPS:
+                out.append((cur, hi))
+        return IntervalSet(out, _trusted=True)
+
+    def complement(self, lo: float, hi: float) -> "IntervalSet":
+        """The portion of ``[lo, hi]`` not covered by this set."""
+        return IntervalSet.full(lo, hi).subtract(self)
+
+    def clipped(self, lo: float, hi: float) -> "IntervalSet":
+        """This set intersected with ``[lo, hi]``."""
+        return self.intersect(IntervalSet.full(lo, hi))
+
+    def subtract_interval(self, lo: float, hi: float) -> "IntervalSet":
+        return self.subtract(IntervalSet.full(lo, hi))
+
+    def covers(self, lo: float, hi: float, eps: float = 1e-7) -> bool:
+        """True iff ``[lo, hi]`` is covered up to a total gap of ``eps``."""
+        gap = IntervalSet.full(lo, hi).subtract(self).measure()
+        return gap <= eps
+
+    def boundaries(self) -> List[float]:
+        """All interval endpoints in ascending order."""
+        out: List[float] = []
+        for lo, hi in self._ivals:
+            out.append(lo)
+            out.append(hi)
+        return out
+
+
+def _normalize(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sort, drop slivers, and coalesce near-touching intervals."""
+    cleaned = [(lo, hi) for lo, hi in intervals if hi - lo > MERGE_EPS]
+    cleaned.sort()
+    out: List[Interval] = []
+    for lo, hi in cleaned:
+        if out and lo <= out[-1][1] + MERGE_EPS:
+            if hi > out[-1][1]:
+                out[-1] = (out[-1][0], hi)
+        else:
+            out.append((lo, hi))
+    return out
+
+
+def _merge_sorted(a: List[Interval], b: List[Interval]) -> List[Interval]:
+    merged = sorted(a + b)
+    out: List[Interval] = []
+    for lo, hi in merged:
+        if out and lo <= out[-1][1] + MERGE_EPS:
+            if hi > out[-1][1]:
+                out[-1] = (out[-1][0], hi)
+        else:
+            out.append((lo, hi))
+    return out
+
+
+def _bisect_hi(ivals: List[Interval], t: float) -> int:
+    """Index of the first interval whose ``hi`` is >= ``t``."""
+    lo = 0
+    hi = len(ivals)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if ivals[mid][1] < t:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,151 @@
+"""Axis-aligned rectangles (MBRs).
+
+:class:`Rect` doubles as the minimum bounding rectangle used by the R*-tree
+and as the geometric footprint of rectangular obstacles.  All distance
+helpers used by query processing (``mindist`` to points and to segments) live
+here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple
+
+from .point import Point
+from .predicates import EPS, seg_seg_dist
+
+
+class Rect(NamedTuple):
+    """A closed axis-aligned rectangle ``[xlo, xhi] x [ylo, yhi]``."""
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    # ------------------------------------------------------------------ shape
+    @classmethod
+    def from_points(cls, points: Iterable[tuple]) -> "Rect":
+        """Smallest rectangle containing all of ``points``."""
+        xs = []
+        ys = []
+        for x, y in points:
+            xs.append(x)
+            ys.append(y)
+        if not xs:
+            raise ValueError("Rect.from_points requires at least one point")
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @classmethod
+    def point(cls, x: float, y: float) -> "Rect":
+        """Degenerate rectangle covering a single point."""
+        return cls(x, y, x, y)
+
+    def is_valid(self) -> bool:
+        """True iff lows do not exceed highs."""
+        return self.xlo <= self.xhi and self.ylo <= self.yhi
+
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        return self.yhi - self.ylo
+
+    def area(self) -> float:
+        return self.width * self.height
+
+    def margin(self) -> float:
+        """Half-perimeter, the R*-tree split quality measure."""
+        return self.width + self.height
+
+    def center(self) -> Point:
+        return Point((self.xlo + self.xhi) * 0.5, (self.ylo + self.yhi) * 0.5)
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """The four corners in counter-clockwise order starting at (xlo, ylo)."""
+        return (Point(self.xlo, self.ylo), Point(self.xhi, self.ylo),
+                Point(self.xhi, self.yhi), Point(self.xlo, self.yhi))
+
+    def edges(self) -> tuple[tuple[Point, Point], ...]:
+        """The four boundary edges as point pairs (counter-clockwise)."""
+        c = self.corners()
+        return ((c[0], c[1]), (c[1], c[2]), (c[2], c[3]), (c[3], c[0]))
+
+    # ----------------------------------------------------------- set algebra
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(min(self.xlo, other.xlo), min(self.ylo, other.ylo),
+                    max(self.xhi, other.xhi), max(self.yhi, other.yhi))
+
+    def intersects(self, other: "Rect") -> bool:
+        """True iff the closed rectangles share at least one point."""
+        return (self.xlo <= other.xhi and other.xlo <= self.xhi and
+                self.ylo <= other.yhi and other.ylo <= self.yhi)
+
+    def intersection_area(self, other: "Rect") -> float:
+        w = min(self.xhi, other.xhi) - max(self.xlo, other.xlo)
+        h = min(self.yhi, other.yhi) - max(self.ylo, other.ylo)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (self.xlo <= other.xlo + EPS and other.xhi <= self.xhi + EPS and
+                self.ylo <= other.ylo + EPS and other.yhi <= self.yhi + EPS)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Closed containment test."""
+        return self.xlo <= x <= self.xhi and self.ylo <= y <= self.yhi
+
+    def contains_point_open(self, x: float, y: float, eps: float = EPS) -> bool:
+        """Strict interior containment test."""
+        return (self.xlo + eps < x < self.xhi - eps and
+                self.ylo + eps < y < self.yhi - eps)
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed for this rectangle to also cover ``other``."""
+        return self.union(other).area() - self.area()
+
+    def expanded(self, delta: float) -> "Rect":
+        """Rectangle grown by ``delta`` on every side."""
+        return Rect(self.xlo - delta, self.ylo - delta,
+                    self.xhi + delta, self.yhi + delta)
+
+    # -------------------------------------------------------------- distance
+    def mindist_point(self, x: float, y: float) -> float:
+        """Minimum distance from the rectangle to a point (0 when inside)."""
+        dx = max(self.xlo - x, 0.0, x - self.xhi)
+        dy = max(self.ylo - y, 0.0, y - self.yhi)
+        return math.hypot(dx, dy)
+
+    def maxdist_point(self, x: float, y: float) -> float:
+        """Maximum distance from the rectangle (its farthest corner) to a point."""
+        dx = max(abs(self.xlo - x), abs(self.xhi - x))
+        dy = max(abs(self.ylo - y), abs(self.yhi - y))
+        return math.hypot(dx, dy)
+
+    def mindist_rect(self, other: "Rect") -> float:
+        """Minimum distance between two closed rectangles (0 when overlapping)."""
+        dx = max(self.xlo - other.xhi, 0.0, other.xlo - self.xhi)
+        dy = max(self.ylo - other.yhi, 0.0, other.ylo - self.yhi)
+        return math.hypot(dx, dy)
+
+    def mindist_segment(self, ax: float, ay: float, bx: float, by: float) -> float:
+        """Minimum distance from the rectangle to the closed segment ``[a, b]``.
+
+        Zero when the segment touches or crosses the rectangle.  This is the
+        ``mindist(N, q)`` lower bound the CONN algorithms key their priority
+        queues on.
+        """
+        # Quick accept: an endpoint inside the rectangle.
+        if self.contains_point(ax, ay) or self.contains_point(bx, by):
+            return 0.0
+        best = math.inf
+        for (p, q) in self.edges():
+            d = seg_seg_dist(p.x, p.y, q.x, q.y, ax, ay, bx, by)
+            if d < best:
+                best = d
+                if best == 0.0:
+                    return 0.0
+        return best

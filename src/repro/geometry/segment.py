@@ -1,0 +1,109 @@
+"""Directed line segments parametrized by arc length.
+
+:class:`Segment` is the geometric type used both for the query line segment
+``q = [S, E]`` and for segment obstacles.  Positions along a segment are
+identified by their arc-length parameter ``t`` in ``[0, length]`` — the same
+coordinate the paper's split-point machinery works in (its "x" axis of
+Figure 4), which makes distances along the segment read directly in world
+units.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+from .point import Point
+from .predicates import EPS, line_line_intersection, point_seg_dist
+
+
+class Segment(NamedTuple):
+    """A directed closed segment from ``(ax, ay)`` to ``(bx, by)``."""
+
+    ax: float
+    ay: float
+    bx: float
+    by: float
+
+    @classmethod
+    def from_points(cls, a: tuple, b: tuple) -> "Segment":
+        (ax, ay), (bx, by) = a, b
+        return cls(float(ax), float(ay), float(bx), float(by))
+
+    @property
+    def start(self) -> Point:
+        return Point(self.ax, self.ay)
+
+    @property
+    def end(self) -> Point:
+        return Point(self.bx, self.by)
+
+    @property
+    def length(self) -> float:
+        return math.hypot(self.bx - self.ax, self.by - self.ay)
+
+    def direction(self) -> Point:
+        """Unit direction vector from start to end.
+
+        Raises:
+            ZeroDivisionError: for a degenerate (zero-length) segment.
+        """
+        ln = self.length
+        if ln == 0.0:
+            raise ZeroDivisionError("degenerate segment has no direction")
+        return Point((self.bx - self.ax) / ln, (self.by - self.ay) / ln)
+
+    def point_at(self, t: float) -> Point:
+        """The point at arc-length parameter ``t`` (clamped to ``[0, length]``)."""
+        ln = self.length
+        if ln == 0.0:
+            return self.start
+        t = min(max(t, 0.0), ln)
+        f = t / ln
+        return Point(self.ax + f * (self.bx - self.ax),
+                     self.ay + f * (self.by - self.ay))
+
+    def param_of(self, x: float, y: float) -> float:
+        """Arc-length parameter of the projection of ``(x, y)`` onto the segment's line.
+
+        Not clamped: points projecting before the start yield negative values.
+        """
+        ln = self.length
+        if ln == 0.0:
+            return 0.0
+        dx = self.bx - self.ax
+        dy = self.by - self.ay
+        return ((x - self.ax) * dx + (y - self.ay) * dy) / ln
+
+    def param_clamped(self, x: float, y: float) -> float:
+        """Arc-length parameter of the closest point of the segment to ``(x, y)``."""
+        return min(max(self.param_of(x, y), 0.0), self.length)
+
+    def dist_point(self, x: float, y: float) -> float:
+        """Euclidean distance from ``(x, y)`` to the closed segment."""
+        return point_seg_dist(x, y, self.ax, self.ay, self.bx, self.by)
+
+    def line_intersection_param(self, cx: float, cy: float,
+                                dx: float, dy: float) -> float | None:
+        """Arc-length parameter where this segment's *line* meets line ``c-d``.
+
+        Returns ``None`` for (near-)parallel lines.  The result may lie
+        outside ``[0, length]``; callers clip as needed.
+        """
+        hit = line_line_intersection(self.ax, self.ay, self.bx, self.by,
+                                     cx, cy, dx, dy)
+        if hit is None:
+            return None
+        t_frac, _u = hit
+        return t_frac * self.length
+
+    def reversed(self) -> "Segment":
+        return Segment(self.bx, self.by, self.ax, self.ay)
+
+    def bbox(self):
+        """``(xlo, ylo, xhi, yhi)`` bounding box of the segment."""
+        return (min(self.ax, self.bx), min(self.ay, self.by),
+                max(self.ax, self.bx), max(self.ay, self.by))
+
+    def is_degenerate(self) -> bool:
+        return self.length <= EPS

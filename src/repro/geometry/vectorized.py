@@ -1,0 +1,230 @@
+"""Numpy-vectorized visibility predicates.
+
+The visibility graph needs, per query, on the order of ``|VG|^2`` sight-line
+tests, each against every retrieved obstacle.  Pure-Python predicates would
+dominate the runtime, so the hot paths batch over numpy arrays.  Semantics
+are identical to the scalar predicates in :mod:`repro.geometry.predicates`
+(the test suite cross-checks them on random inputs):
+
+* rectangle obstacles block only when the sight line crosses their *open*
+  interior;
+* segment obstacles block only on a *proper* crossing;
+* all inputs broadcast, so the same kernels serve "1 segment x N obstacles",
+  "E edges x 1 obstacle" and the per-row grids used by shadow computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .predicates import EPS
+
+__all__ = [
+    "crosses_rect_interior",
+    "crosses_convex_polygon",
+    "proper_cross_segments",
+    "blocked_by_rects",
+    "blocked_by_segments",
+    "visibility_mask",
+    "pairwise_visibility",
+]
+
+_TINY = 1e-300
+"""Division guard: replacing a zero direction component by this keeps the
+slab-test signs correct while avoiding NaNs entirely."""
+
+
+def crosses_rect_interior(ax, ay, bx, by, xlo, ylo, xhi, yhi, eps: float = EPS):
+    """Broadcasted test: does segment ``[a, b]`` cross the open rectangle interior?
+
+    All eight arguments broadcast against each other; the result has the
+    broadcast shape.  Degenerate rectangles never block; running along an
+    edge or touching a corner never blocks.
+    """
+    with np.errstate(all="ignore"):
+        dx = np.subtract(bx, ax)
+        dy = np.subtract(by, ay)
+        dxs = np.where(dx == 0.0, _TINY, dx)
+        dys = np.where(dy == 0.0, _TINY, dy)
+        tx1 = (xlo - ax) / dxs
+        tx2 = (xhi - ax) / dxs
+        ty1 = (ylo - ay) / dys
+        ty2 = (yhi - ay) / dys
+        t0 = np.maximum(np.maximum(np.minimum(tx1, tx2), np.minimum(ty1, ty2)),
+                        0.0)
+        t1 = np.minimum(np.minimum(np.maximum(tx1, tx2), np.maximum(ty1, ty2)),
+                        1.0)
+        width = xhi - xlo
+        height = yhi - ylo
+        overlap = (t1 - t0) > eps
+        tm = 0.5 * (t0 + t1)
+        mx = ax + tm * dx
+        my = ay + tm * dy
+        ex = np.minimum(eps, width * 1e-7)
+        ey = np.minimum(eps, height * 1e-7)
+        inside = ((mx > xlo + ex) & (mx < xhi - ex) &
+                  (my > ylo + ey) & (my < yhi - ey))
+        nondegenerate = (width > eps) & (height > eps)
+        return overlap & inside & nondegenerate
+
+
+def crosses_convex_polygon(ax: float, ay: float, bx, by, poly: np.ndarray,
+                           eps: float = EPS) -> np.ndarray:
+    """Do segments from ``(ax, ay)`` to each ``(bx, by)`` cross a convex polygon?
+
+    ``poly`` is a (V, 2) array of counter-clockwise vertices.  Semantics match
+    the rectangle kernel: only passing through the *open interior* blocks;
+    grazing along an edge or through a vertex does not.  The source point is
+    scalar, targets broadcast — the shape every caller needs (visibility rows,
+    shadow midpoint grids).
+    """
+    bx = np.asarray(bx, dtype=np.float64)
+    by = np.asarray(by, dtype=np.float64)
+    n = poly.shape[0]
+    with np.errstate(all="ignore"):
+        dxs = bx - ax
+        dys = by - ay
+        t0 = np.zeros(bx.shape)
+        t1 = np.ones(bx.shape)
+        feasible = np.ones(bx.shape, dtype=bool)
+        for i in range(n):
+            px, py = poly[i]
+            qx, qy = poly[(i + 1) % n]
+            ex = qx - px
+            ey = qy - py
+            c = ex * (ay - py) - ey * (ax - px)   # cross(edge, a - p)
+            d = ex * dys - ey * dxs               # cross(edge, b - a)
+            r = np.where(d != 0.0, -c / np.where(d == 0.0, 1.0, d), 0.0)
+            t0 = np.where(d > 0.0, np.maximum(t0, r), t0)
+            t1 = np.where(d < 0.0, np.minimum(t1, r), t1)
+            feasible &= ~((d == 0.0) & (c < 0.0))
+        overlap = feasible & ((t1 - t0) > eps)
+        tm = 0.5 * (t0 + t1)
+        mx = ax + tm * dxs
+        my = ay + tm * dys
+        inside = overlap.copy()
+        for i in range(n):
+            px, py = poly[i]
+            qx, qy = poly[(i + 1) % n]
+            ex = qx - px
+            ey = qy - py
+            scale = max(abs(ex) + abs(ey), 1.0)
+            f = ex * (my - py) - ey * (mx - px)
+            inside &= f > eps * scale
+        return inside
+
+
+def _orient_sign(ax, ay, bx, by, cx, cy, eps: float = EPS):
+    """Vectorized tolerant orientation sign (-1, 0, +1)."""
+    bax = np.subtract(bx, ax)
+    bay = np.subtract(by, ay)
+    cax = np.subtract(cx, ax)
+    cay = np.subtract(cy, ay)
+    v = bax * cay - bay * cax
+    scale = (np.maximum(np.abs(bax) + np.abs(bay), 1.0) *
+             np.maximum(np.abs(cax) + np.abs(cay), 1.0))
+    tol = eps * scale
+    return (v > tol).astype(np.int8) - (v < -tol).astype(np.int8)
+
+
+def proper_cross_segments(ax, ay, bx, by, cx, cy, dx, dy, eps: float = EPS):
+    """Broadcasted proper-crossing test of open segments ``(a,b)`` and ``(c,d)``."""
+    s1 = _orient_sign(ax, ay, bx, by, cx, cy, eps)
+    s2 = _orient_sign(ax, ay, bx, by, dx, dy, eps)
+    s3 = _orient_sign(cx, cy, dx, dy, ax, ay, eps)
+    s4 = _orient_sign(cx, cy, dx, dy, bx, by, eps)
+    return (s1 * s2 < 0) & (s3 * s4 < 0)
+
+
+def blocked_by_rects(ax, ay, bx, by, rects: np.ndarray, eps: float = EPS) -> np.ndarray:
+    """Mask of which rectangles in ``rects`` (N, 4) block segment ``[a, b]``."""
+    if rects.size == 0:
+        return np.zeros(0, dtype=bool)
+    return crosses_rect_interior(ax, ay, bx, by,
+                                 rects[:, 0], rects[:, 1], rects[:, 2], rects[:, 3],
+                                 eps)
+
+
+def blocked_by_segments(ax, ay, bx, by, segs: np.ndarray, eps: float = EPS) -> np.ndarray:
+    """Mask of which segment obstacles in ``segs`` (M, 4) block segment ``[a, b]``."""
+    if segs.size == 0:
+        return np.zeros(0, dtype=bool)
+    return proper_cross_segments(ax, ay, bx, by,
+                                 segs[:, 0], segs[:, 1], segs[:, 2], segs[:, 3],
+                                 eps)
+
+
+def visibility_mask(vx: float, vy: float, targets: np.ndarray,
+                    rects: np.ndarray, segs: np.ndarray,
+                    polys=(), eps: float = EPS) -> np.ndarray:
+    """For each row of ``targets`` (K, 2): is the sight line from ``v`` unblocked?
+
+    ``polys`` is an optional sequence of (V, 2) counter-clockwise vertex
+    arrays for convex polygon obstacles.
+    """
+    k = targets.shape[0]
+    visible = np.ones(k, dtype=bool)
+    if k == 0:
+        return visible
+    tx = targets[:, 0]
+    ty = targets[:, 1]
+    if rects.size:
+        blocked = crosses_rect_interior(
+            vx, vy, tx[:, None], ty[:, None],
+            rects[None, :, 0], rects[None, :, 1], rects[None, :, 2], rects[None, :, 3],
+            eps,
+        ).any(axis=1)
+        visible &= ~blocked
+    if segs.size:
+        blocked = proper_cross_segments(
+            vx, vy, tx[:, None], ty[:, None],
+            segs[None, :, 0], segs[None, :, 1], segs[None, :, 2], segs[None, :, 3],
+            eps,
+        ).any(axis=1)
+        visible &= ~blocked
+    for poly in polys:
+        visible &= ~crosses_convex_polygon(vx, vy, tx, ty, poly, eps)
+    return visible
+
+
+def pairwise_visibility(sources: np.ndarray, targets: np.ndarray,
+                        rects: np.ndarray, segs: np.ndarray,
+                        eps: float = EPS,
+                        chunk_elems: int = 2_000_000) -> np.ndarray:
+    """Visibility matrix (A, B): sight line from each source to each target.
+
+    One broadcast evaluates ``chunk ⨯ B ⨯ (N + M)`` obstacle tests at a time;
+    ``chunk_elems`` bounds the intermediate array size.
+    """
+    a = sources.shape[0]
+    b = targets.shape[0]
+    out = np.ones((a, b), dtype=bool)
+    if a == 0 or b == 0 or (rects.size == 0 and segs.size == 0):
+        return out
+    per_row = max(1, b * max(rects.shape[0] + segs.shape[0], 1))
+    rows_per_chunk = max(1, chunk_elems // per_row)
+    tx = targets[:, 0][None, :, None]
+    ty = targets[:, 1][None, :, None]
+    for start in range(0, a, rows_per_chunk):
+        stop = min(start + rows_per_chunk, a)
+        sx = sources[start:stop, 0][:, None, None]
+        sy = sources[start:stop, 1][:, None, None]
+        visible = np.ones((stop - start, b), dtype=bool)
+        if rects.size:
+            blocked = crosses_rect_interior(
+                sx, sy, tx, ty,
+                rects[None, None, :, 0], rects[None, None, :, 1],
+                rects[None, None, :, 2], rects[None, None, :, 3],
+                eps,
+            ).any(axis=2)
+            visible &= ~blocked
+        if segs.size:
+            blocked = proper_cross_segments(
+                sx, sy, tx, ty,
+                segs[None, None, :, 0], segs[None, None, :, 1],
+                segs[None, None, :, 2], segs[None, None, :, 3],
+                eps,
+            ).any(axis=2)
+            visible &= ~blocked
+        out[start:stop] = visible
+    return out

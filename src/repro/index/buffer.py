@@ -1,0 +1,61 @@
+"""LRU buffer pool for simulated pages.
+
+Capacity is in pages.  A capacity of zero degenerates to "no buffer": every
+access misses, reproducing the paper's default of a zero-sized LRU buffer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUBuffer:
+    """A fixed-capacity page cache with least-recently-used eviction."""
+
+    __slots__ = ("capacity", "_pages", "hits", "misses")
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("buffer capacity must be non-negative")
+        self.capacity = capacity
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page_id: int) -> bool:
+        """Touch ``page_id``; return True on a buffer hit, False on a fault.
+
+        On a fault the page is brought in, evicting the least recently used
+        page when full.
+        """
+        if self.capacity == 0:
+            self.misses += 1
+            return False
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._pages) >= self.capacity:
+            self._pages.popitem(last=False)
+        self._pages[page_id] = None
+        return False
+
+    def evict(self, page_id: int) -> None:
+        """Drop ``page_id`` from the pool if present."""
+        self._pages.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the pool (keeps hit/miss counters)."""
+        self._pages.clear()
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit, 0.0 when unused."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,97 @@
+"""Best-first incremental nearest-entry traversal.
+
+Implements the optimal distance-browsing strategy of Hjaltason & Samet over
+an :class:`~repro.index.rstar.RStarTree`: a min-heap holds visited entries
+keyed by ``mindist`` to the query geometry; popping yields objects in
+non-decreasing distance order without ever knowing ``k`` in advance.
+
+The CONN algorithms need two capabilities beyond a plain generator:
+
+* :meth:`IncrementalNearest.peek_key` — Lemma 2 terminates the scan when the
+  heap head's key exceeds ``RLMAX`` *without* consuming the entry;
+* distance to a *segment* (the query line segment ``q``), not only a point —
+  callers pass any lower-bound function on rectangles.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..geometry.rectangle import Rect
+from .rstar import RStarTree
+
+
+class IncrementalNearest:
+    """Incrementally pops ``(dist, payload, rect)`` in ascending ``dist`` order.
+
+    Args:
+        tree: the R*-tree to traverse.
+        mindist: lower-bound distance from a rectangle to the query geometry
+            (must satisfy ``mindist(mbr) <= min over contents``, which any
+            geometric mindist does).
+    """
+
+    def __init__(self, tree: RStarTree, mindist: Callable[[Rect], float]):
+        self._tree = tree
+        self._mindist = mindist
+        self._counter = itertools.count()
+        self._heap: List[Tuple[float, int, bool, Any, Rect | None]] = []
+        root = tree.root
+        if root.entries:
+            heapq.heappush(self._heap,
+                           (0.0, next(self._counter), True, root, None))
+
+    def _settle(self) -> None:
+        """Expand internal nodes until the head is an object (or heap empty)."""
+        heap = self._heap
+        while heap and heap[0][2]:
+            _d, _c, _is_node, node, _r = heapq.heappop(heap)
+            self._tree.tracker.access(node.page_id)
+            for e in node.entries:
+                d = self._mindist(e.rect)
+                if node.is_leaf:
+                    heapq.heappush(heap, (d, next(self._counter), False, e.item, e.rect))
+                else:
+                    heapq.heappush(heap, (d, next(self._counter), True, e.item, None))
+
+    def peek_key(self) -> float:
+        """Distance key of the next object, or ``inf`` when exhausted."""
+        self._settle()
+        return self._heap[0][0] if self._heap else math.inf
+
+    def pop(self) -> Optional[Tuple[float, Any, Rect]]:
+        """The next ``(dist, payload, rect)``, or ``None`` when exhausted."""
+        self._settle()
+        if not self._heap:
+            return None
+        d, _c, _is_node, payload, rect = heapq.heappop(self._heap)
+        return (d, payload, rect)
+
+    def __iter__(self):
+        while True:
+            item = self.pop()
+            if item is None:
+                return
+            yield item
+
+
+def knn(tree: RStarTree, x: float, y: float, k: int) -> List[Tuple[float, Any]]:
+    """The ``k`` nearest payloads to point ``(x, y)`` by Euclidean mindist."""
+    if k <= 0:
+        return []
+    scan = IncrementalNearest(tree, lambda r: r.mindist_point(x, y))
+    out: List[Tuple[float, Any]] = []
+    for d, payload, _rect in scan:
+        out.append((d, payload))
+        if len(out) == k:
+            break
+    return out
+
+
+def nearest_to_segment(tree: RStarTree, ax: float, ay: float,
+                       bx: float, by: float) -> IncrementalNearest:
+    """Incremental scan ordered by mindist to the segment ``[a, b]``."""
+    return IncrementalNearest(tree, lambda r: r.mindist_segment(ax, ay, bx, by))

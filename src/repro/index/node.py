@@ -1,0 +1,59 @@
+"""R-tree nodes and entries.
+
+A node maps to exactly one simulated disk page.  Leaf entries carry opaque
+payloads (data-point ids, obstacle objects, ...); internal entries carry
+child nodes.  Entry rectangles are the usual MBRs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, NamedTuple
+
+from ..geometry.rectangle import Rect
+
+
+class Entry(NamedTuple):
+    """One slot of a node: an MBR plus either a child node or a leaf payload."""
+
+    rect: Rect
+    item: Any  # Node for internal entries, payload for leaf entries
+
+
+class Node:
+    """An R-tree node occupying one page.
+
+    ``level`` is 0 for leaves and grows toward the root, so an entry of a
+    node at level ``k > 0`` points to a node at level ``k - 1``.
+    """
+
+    __slots__ = ("level", "entries", "page_id")
+
+    def __init__(self, level: int, page_id: int, entries: List[Entry] | None = None):
+        self.level = level
+        self.page_id = page_id
+        self.entries: List[Entry] = entries if entries is not None else []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """Tight bounding rectangle over all entries.
+
+        Raises:
+            ValueError: for an empty node (only the root may be empty, and
+                callers special-case it).
+        """
+        if not self.entries:
+            raise ValueError("empty node has no MBR")
+        r = self.entries[0].rect
+        for e in self.entries[1:]:
+            r = r.union(e.rect)
+        return r
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else f"node@{self.level}"
+        return f"<{kind} page={self.page_id} entries={len(self.entries)}>"

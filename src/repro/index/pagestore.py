@@ -1,0 +1,83 @@
+"""Simulated paged storage with I/O accounting.
+
+The paper evaluates algorithms by number of R-tree pages accessed and charges
+10 ms of I/O time per page fault (Section 5.1).  Trees here live in memory,
+but every node visit is routed through a :class:`PageTracker`, which consults
+an optional LRU buffer pool and tallies logical reads vs. faults so the
+benchmark harness can report the same metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .buffer import LRUBuffer
+
+IO_MS_PER_FAULT = 10.0
+"""Milliseconds charged per page fault, matching the paper's cost model."""
+
+
+@dataclass
+class IOStats:
+    """Counters for one tree (or one query, after :meth:`snapshot` deltas)."""
+
+    logical_reads: int = 0
+    page_faults: int = 0
+    pages_allocated: int = 0
+
+    def io_time_ms(self) -> float:
+        """Charged I/O time in milliseconds."""
+        return self.page_faults * IO_MS_PER_FAULT
+
+    def reset(self) -> None:
+        self.logical_reads = 0
+        self.page_faults = 0
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(self.logical_reads, self.page_faults, self.pages_allocated)
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Stats accumulated since ``earlier`` was snapshotted."""
+        return IOStats(self.logical_reads - earlier.logical_reads,
+                       self.page_faults - earlier.page_faults,
+                       self.pages_allocated)
+
+
+@dataclass
+class PageTracker:
+    """Allocates page ids and records accesses against an optional buffer pool.
+
+    With no buffer attached (the paper's default, ``bs = 0``), every logical
+    read is a page fault.
+    """
+
+    buffer: LRUBuffer | None = None
+    stats: IOStats = field(default_factory=IOStats)
+    _next_page: int = 0
+
+    def allocate(self) -> int:
+        """Allocate a fresh page id."""
+        pid = self._next_page
+        self._next_page += 1
+        self.stats.pages_allocated += 1
+        return pid
+
+    def free(self, page_id: int) -> None:
+        """Release a page (buffer entry is dropped; id is not reused)."""
+        self.stats.pages_allocated -= 1
+        if self.buffer is not None:
+            self.buffer.evict(page_id)
+
+    def access(self, page_id: int) -> None:
+        """Record one logical read of ``page_id``."""
+        self.stats.logical_reads += 1
+        if self.buffer is None or not self.buffer.access(page_id):
+            self.stats.page_faults += 1
+
+    def attach_buffer(self, buffer: LRUBuffer | None) -> None:
+        """Attach (or detach with ``None``) a buffer pool."""
+        self.buffer = buffer
+
+    @property
+    def num_pages(self) -> int:
+        return self.stats.pages_allocated

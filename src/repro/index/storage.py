@@ -1,0 +1,213 @@
+"""Disk persistence for R*-trees: page-aligned binary images.
+
+The simulated pages become real: :func:`save_tree` writes each node as one
+``page_size``-byte block (a header page first), :func:`load_tree` rebuilds
+the tree with the same page ids, so I/O accounting and buffer behavior are
+reproducible across sessions.
+
+Payload codec
+-------------
+Leaf payloads are serialized as JSON with one extension: the obstacle
+classes round-trip through a tagged encoding, so both data trees (int/str
+ids) and obstacle trees (:class:`RectObstacle` / :class:`SegmentObstacle` /
+:class:`PolygonObstacle` payloads) persist.  Anything JSON-serializable
+works; other objects raise ``TypeError`` at save time.
+
+Format (little endian)::
+
+    header page:  magic "RPRO" | version u32 | page_size u32 | max u32 |
+                  min u32 | size u64 | node_count u64 | root_page u64
+    node image:   page_id u64 | page_count u32 | level u32 | entry_count u32 |
+                  entries..., padded to page_count * page_size
+    entry:        xlo f64 | ylo f64 | xhi f64 | yhi f64 |
+                  (leaf)   payload_len u32 | payload JSON bytes
+                  (inner)  child_page u64
+
+A node whose serialized entries outgrow one page spills into *continuation
+pages* (``page_count > 1``) — the standard treatment of oversized tuples —
+so arbitrary JSON payload sizes remain storable while the common case stays
+one node per page.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Any, BinaryIO, Dict, List, Tuple
+
+from ..geometry.rectangle import Rect
+from ..obstacles.obstacle import (
+    PolygonObstacle,
+    RectObstacle,
+    SegmentObstacle,
+)
+from .node import Entry, Node
+from .pagestore import PageTracker
+from .rstar import RStarTree
+
+_MAGIC = b"RPRO"
+_VERSION = 1
+_HEADER = struct.Struct("<4sIIIIQQQ")
+_NODE_HEADER = struct.Struct("<QIII")
+_RECT = struct.Struct("<dddd")
+_CHILD = struct.Struct("<Q")
+_PAYLOAD_LEN = struct.Struct("<I")
+
+
+def _encode_payload(payload: Any) -> bytes:
+    if isinstance(payload, RectObstacle):
+        r = payload.rect
+        doc = {"__obstacle__": "rect", "oid": payload.oid,
+               "coords": [r.xlo, r.ylo, r.xhi, r.yhi]}
+    elif isinstance(payload, SegmentObstacle):
+        s = payload.seg
+        doc = {"__obstacle__": "segment", "oid": payload.oid,
+               "coords": [s.ax, s.ay, s.bx, s.by]}
+    elif isinstance(payload, PolygonObstacle):
+        doc = {"__obstacle__": "polygon", "oid": payload.oid,
+               "coords": [c for p in payload.points for c in p]}
+    else:
+        doc = {"v": payload}
+    try:
+        return json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    except TypeError as exc:
+        raise TypeError(
+            f"payload {payload!r} is not persistable (JSON or obstacle)"
+        ) from exc
+
+
+def _decode_payload(blob: bytes) -> Any:
+    doc = json.loads(blob.decode("utf-8"))
+    kind = doc.get("__obstacle__")
+    if kind is None:
+        return doc["v"]
+    coords = doc["coords"]
+    if kind == "rect":
+        return RectObstacle(*coords, oid=doc["oid"])
+    if kind == "segment":
+        return SegmentObstacle(*coords, oid=doc["oid"])
+    if kind == "polygon":
+        pairs = list(zip(coords[0::2], coords[1::2]))
+        return PolygonObstacle(pairs, oid=doc["oid"])
+    raise ValueError(f"unknown obstacle tag {kind!r}")
+
+
+def _serialize_node(node: Node, page_size: int) -> bytes:
+    body_parts = []
+    for e in node.entries:
+        body_parts.append(
+            _RECT.pack(e.rect.xlo, e.rect.ylo, e.rect.xhi, e.rect.yhi))
+        if node.is_leaf:
+            blob = _encode_payload(e.item)
+            body_parts.append(_PAYLOAD_LEN.pack(len(blob)))
+            body_parts.append(blob)
+        else:
+            body_parts.append(_CHILD.pack(e.item.page_id))
+    body = b"".join(body_parts)
+    total = _NODE_HEADER.size + len(body)
+    page_count = max(1, -(-total // page_size))
+    header = _NODE_HEADER.pack(node.page_id, page_count, node.level,
+                               len(node.entries))
+    return (header + body).ljust(page_count * page_size, b"\0")
+
+
+def save_tree(tree: RStarTree, path: str | Path) -> int:
+    """Write the tree as a page-aligned binary file.
+
+    Returns:
+        Number of bytes written — ``(node_count + 1) * page_size`` plus any
+        continuation pages for nodes with oversized payloads.
+    """
+    path = Path(path)
+    nodes: List[Node] = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        if not node.is_leaf:
+            stack.extend(e.item for e in node.entries)
+    with path.open("wb") as fh:
+        header = _HEADER.pack(_MAGIC, _VERSION, tree.page_size,
+                              tree.max_entries, tree.min_entries,
+                              tree.size, len(nodes), tree.root.page_id)
+        fh.write(header.ljust(tree.page_size, b"\0"))
+        for node in nodes:
+            fh.write(_serialize_node(node, tree.page_size))
+        return fh.tell()
+
+
+def _read_node(fh: BinaryIO, page_size: int) -> Tuple[Node, List[int]]:
+    """Read one node image (1+ pages); returns it plus child page ids."""
+    image = fh.read(page_size)
+    if len(image) < page_size:
+        raise ValueError("truncated page")
+    page_id, page_count, level, count = _NODE_HEADER.unpack_from(image, 0)
+    if page_count > 1:
+        rest = fh.read((page_count - 1) * page_size)
+        if len(rest) < (page_count - 1) * page_size:
+            raise ValueError("truncated continuation pages")
+        image += rest
+    offset = _NODE_HEADER.size
+    node = Node(level=level, page_id=page_id)
+    child_pages: List[int] = []
+    for _ in range(count):
+        xlo, ylo, xhi, yhi = _RECT.unpack_from(image, offset)
+        offset += _RECT.size
+        rect = Rect(xlo, ylo, xhi, yhi)
+        if level == 0:
+            (blob_len,) = _PAYLOAD_LEN.unpack_from(image, offset)
+            offset += _PAYLOAD_LEN.size
+            payload = _decode_payload(image[offset:offset + blob_len])
+            offset += blob_len
+            node.entries.append(Entry(rect, payload))
+        else:
+            (child_page,) = _CHILD.unpack_from(image, offset)
+            offset += _CHILD.size
+            child_pages.append(child_page)
+            node.entries.append(Entry(rect, child_page))  # patched below
+    return node, child_pages
+
+
+def load_tree(path: str | Path) -> RStarTree:
+    """Reconstruct a tree saved by :func:`save_tree`.
+
+    The rebuilt tree keeps the stored page ids (so buffer/I/O traces are
+    comparable) and starts with a fresh :class:`PageTracker`.
+    """
+    path = Path(path)
+    with path.open("rb") as fh:
+        head = fh.read(_HEADER.size)
+        magic, version, page_size, max_e, min_e, size, node_count, root_page = \
+            _HEADER.unpack(head)
+        if magic != _MAGIC:
+            raise ValueError(f"{path} is not an R*-tree image")
+        if version != _VERSION:
+            raise ValueError(f"unsupported version {version}")
+        fh.seek(page_size)
+        nodes: Dict[int, Node] = {}
+        pending: Dict[int, List[int]] = {}
+        for _ in range(node_count):
+            node, child_pages = _read_node(fh, page_size)
+            nodes[node.page_id] = node
+            if child_pages:
+                pending[node.page_id] = child_pages
+    # Patch child page ids into node references.
+    for page_id, child_pages in pending.items():
+        node = nodes[page_id]
+        node.entries = [Entry(e.rect, nodes[cp])
+                        for e, cp in zip(node.entries, child_pages)]
+    tracker = PageTracker()
+    # Reserve ids so future allocations do not collide with stored pages.
+    max_page = max(nodes) if nodes else 0
+    tracker._next_page = max_page + 1
+    tracker.stats.pages_allocated = len(nodes)
+    tree = RStarTree.__new__(RStarTree)
+    tree.page_size = page_size
+    tree.max_entries = max_e
+    tree.min_entries = min_e
+    tree.tracker = tracker
+    tree.root = nodes[root_page]
+    tree.size = size
+    tree._reinserted_levels = set()
+    return tree

@@ -1,0 +1,364 @@
+"""The local visibility graph (Sections 1 and 4.1 of the paper).
+
+Rather than materializing the global visibility graph over all obstacles
+(``O(n^2)`` space, poor scalability — the paper's "FULL" yardstick), CONN
+processing grows a *local* graph containing only the query segment endpoints,
+the data point currently under evaluation, and the vertices of the obstacles
+retrieved so far by IOR.
+
+Two design points keep it fast at benchmark scale:
+
+* **Lazy adjacency rows.**  The sight-line edges of a node are computed only
+  when Dijkstra first settles it, with one vectorized pass over all nodes and
+  all retrieved obstacles, and are then cached for every later traversal
+  (the obstacle skeleton is shared by all evaluated data points).  Most
+  obstacle vertices are never settled by any traversal, so most of the
+  ``O(|VG|^2)`` edge work never happens.
+* **Incremental repair.**  When IOR inserts obstacles, cached rows are
+  repaired in place: entries blocked by the new obstacles are dropped (one
+  vectorized test per batch) and sight lines to the new vertices are added
+  (one pairwise kernel per batch).  Transient data points participate through
+  the same rows and are unlinked on removal via a mentions index.
+
+The graph also caches each node's visible region ``VR_{v,q}`` with an
+obstacle watermark, so a cached region is lazily narrowed by exactly the
+shadows of obstacles added since it was computed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..geometry.interval import IntervalSet
+from ..geometry.point import Point
+from ..geometry.segment import Segment
+from ..geometry.vectorized import (
+    crosses_convex_polygon,
+    crosses_rect_interior,
+    proper_cross_segments,
+)
+from .obstacle import Obstacle, ObstacleSet
+from .shadow import shadow_set, visible_region
+
+
+class LocalVisibilityGraph:
+    """An incrementally grown visibility graph tied to one query segment."""
+
+    def __init__(self, qseg: Segment):
+        self.qseg = qseg
+        self.obstacles = ObstacleSet()
+        self._xy: List[Tuple[float, float]] = []
+        self._alive: List[bool] = []
+        self._transient: List[bool] = []
+        # Lazily computed adjacency rows: node -> {neighbor: weight}, plus a
+        # staleness watermark (rect rows, seg rows, polys, node count) per row.
+        self._rows: Dict[int, Dict[int, float]] = {}
+        self._row_marks: Dict[int, Tuple[int, int, int, int]] = {}
+        # For transient nodes: which cached rows mention them.
+        self._mentions: Dict[int, Set[int]] = {}
+        # node -> (visible region, (rect rows, seg rows, polys) watermark)
+        self._vr_cache: Dict[int, Tuple[IntervalSet, Tuple[int, int, int]]] = {}
+        self._coords_cache: Optional[np.ndarray] = None
+        self.visibility_tests = 0
+        self.S = self._new_node(qseg.ax, qseg.ay, transient=False)
+        self.E = self._new_node(qseg.bx, qseg.by, transient=False)
+
+    # ---------------------------------------------------------------- nodes
+    def _new_node(self, x: float, y: float, transient: bool) -> int:
+        node = len(self._xy)
+        self._xy.append((x, y))
+        self._alive.append(True)
+        self._transient.append(transient)
+        self._coords_cache = None
+        return node
+
+    def _alive_ids(self) -> List[int]:
+        return [i for i in range(len(self._xy)) if self._alive[i]]
+
+    def node_point(self, node: int) -> Point:
+        x, y = self._xy[node]
+        return Point(x, y)
+
+    def add_point(self, x: float, y: float) -> int:
+        """Add a transient data point; pair with :meth:`remove_point`.
+
+        No edges are computed here: the point's own row materializes when a
+        traversal first settles it, and other rows pick the point up through
+        their node watermarks on next access.
+        """
+        return self._new_node(x, y, transient=True)
+
+    def remove_point(self, node: int) -> None:
+        """Remove a transient node added by :meth:`add_point`."""
+        if not self._transient[node]:
+            raise ValueError(f"node {node} is not transient")
+        for holder in self._mentions.pop(node, ()):
+            row = self._rows.get(holder)
+            if row is not None:
+                row.pop(node, None)
+        self._rows.pop(node, None)
+        self._row_marks.pop(node, None)
+        self._alive[node] = False
+        self._vr_cache.pop(node, None)
+        self._coords_cache = None
+
+    @property
+    def num_nodes(self) -> int:
+        """Alive node count (S, E, obstacle vertices, transient points)."""
+        return sum(self._alive)
+
+    @property
+    def svg_size(self) -> int:
+        """|SVG|: vertices of the local visibility graph (paper's metric)."""
+        return sum(1 for a, t in zip(self._alive, self._transient) if a and not t)
+
+    # ------------------------------------------------------------ obstacles
+    def add_obstacles(self, batch: Iterable[Obstacle]) -> int:
+        """Insert obstacles and register their vertices as graph nodes.
+
+        Cached adjacency rows are *not* repaired here; each row repairs
+        itself lazily on next access (see :meth:`neighbors`), so obstacle
+        insertion costs nothing for the (typically large) majority of rows
+        no later traversal touches again.
+
+        Returns:
+            Number of obstacles inserted.
+        """
+        batch = list(batch)
+        if not batch:
+            return 0
+        self.obstacles.add_many(batch)
+        for o in batch:
+            for vx, vy in o.vertices():
+                self._new_node(vx, vy, transient=False)
+        return len(batch)
+
+    # ------------------------------------------------------------ adjacency
+    def _current_mark(self) -> Tuple[int, int, int, int]:
+        return (self.obstacles.rects.shape[0], self.obstacles.segs.shape[0],
+                len(self.obstacles.polys), len(self._xy))
+
+    def _visible_from(self, x: float, y: float, targets: np.ndarray,
+                      chunk: int = 64) -> np.ndarray:
+        """Visibility of ``targets`` (K, 2) from ``(x, y)``, early-terminating.
+
+        Obstacles are tested nearest-first in chunks; targets already proven
+        blocked drop out of later chunks.  Because a sight line is almost
+        always cut by an obstacle near its source, most targets die in the
+        first chunk and the effective cost is far below ``K x N``.
+        """
+        k = targets.shape[0]
+        alive = np.ones(k, dtype=bool)
+        if k == 0:
+            return alive
+        tx = targets[:, 0]
+        ty = targets[:, 1]
+        rects = self.obstacles.rects
+        if rects.size:
+            cdist = np.hypot((rects[:, 0] + rects[:, 2]) * 0.5 - x,
+                             (rects[:, 1] + rects[:, 3]) * 0.5 - y)
+            order = np.argsort(cdist)
+            for start in range(0, order.size, chunk):
+                idx = np.nonzero(alive)[0]
+                if idx.size == 0:
+                    return alive
+                batch = rects[order[start:start + chunk]]
+                blocked = crosses_rect_interior(
+                    x, y, tx[idx][:, None], ty[idx][:, None],
+                    batch[None, :, 0], batch[None, :, 1],
+                    batch[None, :, 2], batch[None, :, 3],
+                ).any(axis=1)
+                self.visibility_tests += idx.size * batch.shape[0]
+                alive[idx[blocked]] = False
+        segs = self.obstacles.segs
+        if segs.size:
+            cdist = np.hypot((segs[:, 0] + segs[:, 2]) * 0.5 - x,
+                             (segs[:, 1] + segs[:, 3]) * 0.5 - y)
+            order = np.argsort(cdist)
+            for start in range(0, order.size, chunk):
+                idx = np.nonzero(alive)[0]
+                if idx.size == 0:
+                    return alive
+                batch = segs[order[start:start + chunk]]
+                blocked = proper_cross_segments(
+                    x, y, tx[idx][:, None], ty[idx][:, None],
+                    batch[None, :, 0], batch[None, :, 1],
+                    batch[None, :, 2], batch[None, :, 3],
+                ).any(axis=1)
+                self.visibility_tests += idx.size * batch.shape[0]
+                alive[idx[blocked]] = False
+        for poly in self.obstacles.polys:
+            idx = np.nonzero(alive)[0]
+            if idx.size == 0:
+                return alive
+            arr = poly.as_array()
+            blocked = crosses_convex_polygon(x, y, tx[idx], ty[idx], arr)
+            self.visibility_tests += idx.size
+            alive[idx[blocked]] = False
+        return alive
+
+    def _add_edges_to(self, node: int, row: Dict[int, float],
+                      candidate_ids: List[int]) -> None:
+        """Add visible ``candidate_ids`` to ``row`` (tested vs all obstacles)."""
+        if not candidate_ids:
+            return
+        x, y = self._xy[node]
+        targets = np.asarray([self._xy[i] for i in candidate_ids],
+                             dtype=np.float64)
+        mask = self._visible_from(x, y, targets)
+        for i, visible in zip(candidate_ids, mask):
+            if visible:
+                tx, ty = self._xy[i]
+                row[i] = math.hypot(x - tx, y - ty)
+                if self._transient[i]:
+                    self._mentions.setdefault(i, set()).add(node)
+
+    def neighbors(self, node: int) -> Dict[int, float]:
+        """The adjacency row of ``node``, computed/repaired lazily.
+
+        A cached row records the obstacle and node counts it is current for.
+        On access after growth, exactly two incremental fixes run: existing
+        entries are retested against the *new* obstacles only, and sight
+        lines to the *new* nodes only are added (tested against all
+        obstacles).  Rows are therefore always current when returned.
+        """
+        row = self._rows.get(node)
+        mark_now = self._current_mark()
+        if row is not None:
+            n_rects, n_segs, n_polys, n_nodes = self._row_marks[node]
+            if (n_rects, n_segs, n_polys, n_nodes) == mark_now:
+                return row
+            # Drop entries blocked by obstacles added since the row was cut.
+            new_rects = self.obstacles.rects[n_rects:]
+            new_segs = self.obstacles.segs[n_segs:]
+            new_polys = self.obstacles.polys[n_polys:]
+            if row and (new_rects.size or new_segs.size or new_polys):
+                x, y = self._xy[node]
+                ids = list(row.keys())
+                arr = np.asarray([self._xy[i] for i in ids], dtype=np.float64)
+                blocked = np.zeros(len(ids), dtype=bool)
+                if new_rects.size:
+                    blocked |= crosses_rect_interior(
+                        x, y, arr[:, 0][:, None], arr[:, 1][:, None],
+                        new_rects[None, :, 0], new_rects[None, :, 1],
+                        new_rects[None, :, 2], new_rects[None, :, 3],
+                    ).any(axis=1)
+                if new_segs.size:
+                    blocked |= proper_cross_segments(
+                        x, y, arr[:, 0][:, None], arr[:, 1][:, None],
+                        new_segs[None, :, 0], new_segs[None, :, 1],
+                        new_segs[None, :, 2], new_segs[None, :, 3],
+                    ).any(axis=1)
+                for poly in new_polys:
+                    blocked |= crosses_convex_polygon(
+                        x, y, arr[:, 0], arr[:, 1], poly.as_array())
+                self.visibility_tests += len(ids)
+                for i, dead in zip(ids, blocked):
+                    if dead:
+                        del row[i]
+            # Wire up nodes added since the row was cut.
+            fresh = [i for i in range(n_nodes, len(self._xy))
+                     if self._alive[i] and i != node]
+            self._add_edges_to(node, row, fresh)
+            self._row_marks[node] = mark_now
+            return row
+        row = {}
+        self._rows[node] = row
+        self._row_marks[node] = mark_now
+        self._add_edges_to(node, row,
+                           [i for i in self._alive_ids() if i != node])
+        return row
+
+    def num_edges(self, materialize: bool = False) -> int:
+        """Count sight-line edges (cached rows only, unless ``materialize``)."""
+        if materialize:
+            for node in self._alive_ids():
+                self.neighbors(node)
+        seen = set()
+        for v, row in self._rows.items():
+            if not self._alive[v]:
+                continue
+            for n in row:
+                seen.add((min(v, n), max(v, n)))
+        return len(seen)
+
+    # ------------------------------------------------------ visible regions
+    def visible_region_of(self, node: int) -> IntervalSet:
+        """Cached ``VR_{node,q}``, narrowed lazily as obstacles arrive."""
+        rects = self.obstacles.rects
+        segs = self.obstacles.segs
+        polys = self.obstacles.polys
+        watermark_now = (rects.shape[0], segs.shape[0], len(polys))
+        cached = self._vr_cache.get(node)
+        if cached is not None:
+            vr, watermark = cached
+            if watermark != watermark_now:
+                x, y = self._xy[node]
+                vr = vr.subtract(shadow_set(x, y, self.qseg,
+                                            rects[watermark[0]:],
+                                            segs[watermark[1]:],
+                                            polys[watermark[2]:]))
+                self._vr_cache[node] = (vr, watermark_now)
+            return vr
+        x, y = self._xy[node]
+        vr = visible_region(x, y, self.qseg, self.obstacles)
+        self._vr_cache[node] = (vr, watermark_now)
+        return vr
+
+    # -------------------------------------------------------------- dijkstra
+    def dijkstra_order(self, source: int) -> Iterator[Tuple[float, int, Optional[int]]]:
+        """Yield ``(dist, node, predecessor)`` in ascending settled order.
+
+        This is the traversal CPLC consumes; the caller breaks out when
+        Lemma 7's cutoff fires.  Predecessor is the node visited right before
+        on the shortest path (``u`` of Lemma 5), ``None`` for the source.
+        Only settled nodes ever compute their adjacency rows.
+        """
+        dist: Dict[int, float] = {source: 0.0}
+        pred: Dict[int, Optional[int]] = {source: None}
+        settled: Set[int] = set()
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            yield (d, node, pred[node])
+            for nbr, w in self.neighbors(node).items():
+                if not self._alive[nbr]:
+                    continue
+                nd = d + w
+                if nd < dist.get(nbr, math.inf):
+                    dist[nbr] = nd
+                    pred[nbr] = node
+                    heapq.heappush(heap, (nd, nbr))
+
+    def shortest_distances(self, source: int,
+                           targets: Iterable[int]) -> Dict[int, float]:
+        """Early-terminating Dijkstra: distances to ``targets`` (inf if cut off)."""
+        remaining = set(targets)
+        out = {t: math.inf for t in remaining}
+        for d, node, _pred in self.dijkstra_order(source):
+            if node in remaining:
+                out[node] = d
+                remaining.discard(node)
+                if not remaining:
+                    break
+        return out
+
+    def shortest_path(self, source: int, target: int) -> Tuple[float, List[int]]:
+        """Distance and node path from ``source`` to ``target`` (inf, [] if none)."""
+        preds: Dict[int, Optional[int]] = {}
+        for d, node, pred in self.dijkstra_order(source):
+            preds[node] = pred
+            if node == target:
+                path = [node]
+                while preds[path[-1]] is not None:
+                    path.append(preds[path[-1]])  # type: ignore[arg-type]
+                path.reverse()
+                return d, path
+        return math.inf, []

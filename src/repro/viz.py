@@ -1,0 +1,151 @@
+"""Terminal visualization helpers (no plotting dependencies).
+
+Two renderers cover most debugging needs:
+
+* :func:`render_scene` — an ASCII map of obstacles, data points, and the
+  query segment, so a failing geometry case can be *seen* in a test log;
+* :func:`render_profile` — a block-character sparkline of a query result's
+  distance function along ``q``, with split points marked, approximating
+  the figures the paper draws.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .core.engine import ConnResult
+from .geometry.rectangle import Rect
+from .geometry.segment import Segment
+from .obstacles.obstacle import (
+    Obstacle,
+    ObstacleSet,
+    PolygonObstacle,
+    RectObstacle,
+    SegmentObstacle,
+)
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _bounds(points, obstacles, qseg) -> Rect:
+    xs = []
+    ys = []
+    for _p, (x, y) in points:
+        xs.append(x)
+        ys.append(y)
+    for o in obstacles:
+        r = o.mbr()
+        xs.extend((r.xlo, r.xhi))
+        ys.extend((r.ylo, r.yhi))
+    if qseg is not None:
+        xs.extend((qseg.ax, qseg.bx))
+        ys.extend((qseg.ay, qseg.by))
+    if not xs:
+        return Rect(0, 0, 1, 1)
+    pad_x = max((max(xs) - min(xs)) * 0.05, 1e-9)
+    pad_y = max((max(ys) - min(ys)) * 0.05, 1e-9)
+    return Rect(min(xs) - pad_x, min(ys) - pad_y,
+                max(xs) + pad_x, max(ys) + pad_y)
+
+
+def render_scene(points: Sequence[Tuple[Any, Tuple[float, float]]],
+                 obstacles: Iterable[Obstacle],
+                 qseg: Optional[Segment] = None,
+                 width: int = 72, height: int = 24) -> str:
+    """ASCII map: obstacles ``#``, walls ``/``, points labeled, query ``=``.
+
+    Point labels use the first character of ``str(payload)``; the query
+    segment endpoints show as ``S`` and ``E``.
+    """
+    obstacles = list(obstacles)
+    box = _bounds(points, obstacles, qseg)
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
+        cx = int((x - box.xlo) / (box.xhi - box.xlo) * (width - 1))
+        # Row 0 is the top of the picture = maximum y.
+        cy = int((box.yhi - y) / (box.yhi - box.ylo) * (height - 1))
+        return min(max(cy, 0), height - 1), min(max(cx, 0), width - 1)
+
+    def cell_center(row: int, col: int) -> Tuple[float, float]:
+        x = box.xlo + (col + 0.5) / width * (box.xhi - box.xlo)
+        y = box.yhi - (row + 0.5) / height * (box.yhi - box.ylo)
+        return x, y
+
+    oset = obstacles if isinstance(obstacles, ObstacleSet) else None
+    for row in range(height):
+        for col in range(width):
+            x, y = cell_center(row, col)
+            for o in obstacles:
+                if isinstance(o, RectObstacle) and o.rect.contains_point(x, y):
+                    grid[row][col] = "#"
+                    break
+                if isinstance(o, PolygonObstacle) and \
+                        o.contains_interior(x, y):
+                    grid[row][col] = "#"
+                    break
+    for o in obstacles:
+        if isinstance(o, SegmentObstacle):
+            s = o.seg
+            steps = max(int(s.length / max(box.width / width,
+                                           box.height / height)), 1)
+            for i in range(steps + 1):
+                p = s.point_at(s.length * i / steps)
+                r, c = to_cell(p.x, p.y)
+                grid[r][c] = "/"
+    if qseg is not None:
+        steps = max(width, 2)
+        for i in range(steps + 1):
+            p = qseg.point_at(qseg.length * i / steps)
+            r, c = to_cell(p.x, p.y)
+            if grid[r][c] == " ":
+                grid[r][c] = "="
+        r, c = to_cell(qseg.ax, qseg.ay)
+        grid[r][c] = "S"
+        r, c = to_cell(qseg.bx, qseg.by)
+        grid[r][c] = "E"
+    for payload, (x, y) in points:
+        r, c = to_cell(x, y)
+        label = str(payload)
+        grid[r][c] = label[0] if label else "*"
+    _ = oset
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_profile(result: ConnResult, width: int = 72,
+                   level: int = 0) -> str:
+    """Sparkline of a result's distance function with split-point markers.
+
+    The first line plots ``level``'s distance values scaled into eight
+    block heights (``!`` marks unreachable stretches); the second line
+    marks split points with ``^``.
+    """
+    qseg = result.qseg
+    ts = np.linspace(0.0, qseg.length, width)
+    vals = result.levels[level].values(ts)
+    finite = np.isfinite(vals)
+    chars = []
+    if finite.any():
+        lo = float(vals[finite].min())
+        hi = float(vals[finite].max())
+        span = max(hi - lo, 1e-12)
+        for v in vals:
+            if not math.isfinite(v):
+                chars.append("!")
+            else:
+                idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+                chars.append(_BLOCKS[idx])
+    else:
+        chars = ["!"] * width
+    marks = [" "] * width
+    for sp in result.split_points():
+        col = int(sp / qseg.length * (width - 1))
+        marks[min(max(col, 0), width - 1)] = "^"
+    lo_txt = f"{vals[finite].min():.1f}" if finite.any() else "inf"
+    hi_txt = f"{vals[finite].max():.1f}" if finite.any() else "inf"
+    return ("".join(chars) + "\n" + "".join(marks) +
+            f"\nmin {lo_txt}  max {hi_txt}  splits "
+            f"{[round(s, 1) for s in result.split_points()]}")

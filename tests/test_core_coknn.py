@@ -1,0 +1,142 @@
+"""COkNN (continuous obstructed k-NN): oracle comparisons and k-envelope laws."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines import naive_coknn
+from repro.core import ConnConfig, coknn, conn
+from repro.geometry import Segment
+from tests.conftest import (
+    build_obstacle_tree,
+    build_point_tree,
+    random_query,
+    random_scene,
+    same_values,
+)
+
+
+def assert_klevels_match_oracle(points, obstacles, q, res, k, samples=41):
+    ts = np.linspace(0.0, q.length, samples)
+    want = naive_coknn(points, obstacles, q, ts, k)
+    for j, t in enumerate(ts):
+        got = res.knn_at(float(t))
+        for lvl in range(k):
+            wd = want[j][lvl][1] if lvl < len(want[j]) else math.inf
+            gd = got[lvl][1]
+            assert (abs(gd - wd) < 1e-5) or (math.isinf(gd) and math.isinf(wd)), (
+                f"t={t} level={lvl}: got {gd}, want {wd}")
+
+
+class TestBasics:
+    def test_k1_equals_conn(self, rng):
+        points, obstacles = random_scene(rng)
+        q = random_query(rng)
+        dt = build_point_tree(points)
+        ot = build_obstacle_tree(obstacles)
+        r1 = conn(dt, ot, q)
+        rk = coknn(dt, ot, q, k=1)
+        ts = np.linspace(0, q.length, 101)
+        a = r1.envelope.values(ts)
+        b = rk.envelope.values(ts)
+        assert same_values(a, b, atol=1e-6)
+
+    def test_invalid_k_rejected(self, rng):
+        points, obstacles = random_scene(rng)
+        with pytest.raises(ValueError):
+            coknn(build_point_tree(points), build_obstacle_tree(obstacles),
+                  random_query(rng), k=0)
+
+    def test_levels_are_sorted_pointwise(self, rng):
+        points, obstacles = random_scene(rng, n_points=12)
+        q = random_query(rng)
+        res = coknn(build_point_tree(points), build_obstacle_tree(obstacles),
+                    q, k=4)
+        ts = np.linspace(0, q.length, 101)
+        vals = np.stack([lv.values(ts) for lv in res.levels])
+        finite = np.isfinite(vals)
+        for j in range(len(res.levels) - 1):
+            both = finite[j] & finite[j + 1]
+            assert np.all(vals[j][both] <= vals[j + 1][both] + 1e-6)
+
+    def test_levels_have_distinct_owners_pointwise(self, rng):
+        points, obstacles = random_scene(rng, n_points=12)
+        q = random_query(rng)
+        res = coknn(build_point_tree(points), build_obstacle_tree(obstacles),
+                    q, k=3)
+        for t in np.linspace(0, q.length, 23):
+            owners = [o for o, d in res.knn_at(float(t)) if math.isfinite(d)]
+            assert len(owners) == len(set(owners))
+
+    def test_k_larger_than_dataset(self, rng):
+        points, obstacles = random_scene(rng, n_points=3)
+        q = random_query(rng)
+        res = coknn(build_point_tree(points), build_obstacle_tree(obstacles),
+                    q, k=5)
+        finite_counts = [sum(math.isfinite(d) for _o, d in res.knn_at(t))
+                         for t in np.linspace(0, q.length, 11)]
+        assert max(finite_counts) <= 3
+
+
+class TestOracle:
+    @pytest.mark.parametrize("seed,k", [(s, k) for s in range(5)
+                                        for k in (2, 3, 5)])
+    def test_matches_naive_coknn(self, seed, k):
+        rng = random.Random(4000 + seed)
+        points, obstacles = random_scene(
+            rng, n_points=rng.randint(6, 14), n_obstacles=rng.randint(3, 9))
+        q = random_query(rng)
+        res = coknn(build_point_tree(points), build_obstacle_tree(obstacles),
+                    q, k=k)
+        assert_klevels_match_oracle(points, obstacles, q, res, k)
+
+    def test_knn_intervals_partition_query(self, rng):
+        points, obstacles = random_scene(rng, n_points=10)
+        q = random_query(rng)
+        res = coknn(build_point_tree(points), build_obstacle_tree(obstacles),
+                    q, k=3)
+        intervals = res.knn_intervals()
+        assert intervals[0][1][0] == pytest.approx(0.0)
+        assert intervals[-1][1][1] == pytest.approx(q.length)
+        for (a, b) in zip(intervals, intervals[1:]):
+            assert a[1][1] == pytest.approx(b[1][0])
+            assert a[0] != b[0]  # adjacent intervals merged when equal
+
+    def test_pruning_invariance(self, rng):
+        points, obstacles = random_scene(rng, n_points=10, n_obstacles=7)
+        q = random_query(rng)
+        dt = build_point_tree(points)
+        ot = build_obstacle_tree(obstacles)
+        fast = coknn(dt, ot, q, k=3)
+        slow = coknn(dt, ot, q, k=3, config=ConnConfig.no_pruning())
+        ts = np.linspace(0, q.length, 101)
+        for lvl in range(3):
+            a = fast.levels[lvl].values(ts)
+            b = slow.levels[lvl].values(ts)
+            assert same_values(a, b)
+
+    def test_growing_k_extends_prefix(self, rng):
+        """Levels 1..k of COkNN(k) == levels 1..k of COkNN(k+2)."""
+        points, obstacles = random_scene(rng, n_points=12)
+        q = random_query(rng)
+        dt = build_point_tree(points)
+        ot = build_obstacle_tree(obstacles)
+        r3 = coknn(dt, ot, q, k=3)
+        r5 = coknn(dt, ot, q, k=5)
+        ts = np.linspace(0, q.length, 67)
+        for lvl in range(3):
+            a = r3.levels[lvl].values(ts)
+            b = r5.levels[lvl].values(ts)
+            assert same_values(a, b)
+
+    def test_npe_grows_with_k(self, rng):
+        points, obstacles = random_scene(rng, n_points=30, n_obstacles=5)
+        q = Segment(20, 50, 40, 50)
+        dt = build_point_tree(points)
+        ot = build_obstacle_tree(obstacles)
+        npe = [coknn(dt, ot, q, k=k).stats.npe for k in (1, 3, 5)]
+        assert npe[0] <= npe[1] <= npe[2]

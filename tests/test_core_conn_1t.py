@@ -1,0 +1,110 @@
+"""Single-tree (1T) CONN/COkNN: equivalence with 2T and traversal behavior."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_unified_tree,
+    coknn,
+    coknn_single_tree,
+    conn,
+    conn_single_tree,
+)
+from repro.geometry import Segment
+from repro.obstacles import Obstacle, RectObstacle
+from tests.conftest import (
+    build_obstacle_tree,
+    build_point_tree,
+    random_query,
+    random_scene,
+    same_values,
+)
+
+
+class TestUnifiedTree:
+    def test_build_contains_everything(self, rng):
+        points, obstacles = random_scene(rng)
+        tree = build_unified_tree(points, obstacles)
+        tree.check_invariants()
+        assert tree.size == len(points) + len(obstacles)
+        payloads = [p for p, _r in tree.items()]
+        assert sum(isinstance(p, Obstacle) for p in payloads) == len(obstacles)
+
+    def test_build_insert_mode(self, rng):
+        points, obstacles = random_scene(rng, n_points=30, n_obstacles=10)
+        tree = build_unified_tree(points, obstacles, bulk=False)
+        tree.check_invariants()
+        assert tree.size == 40
+
+
+class TestEquivalenceWith2T:
+    @pytest.mark.parametrize("seed,k", [(s, k) for s in range(6)
+                                        for k in (1, 3)])
+    def test_same_distance_functions(self, seed, k):
+        rng = random.Random(9000 + seed)
+        points, obstacles = random_scene(
+            rng, n_points=rng.randint(5, 14), n_obstacles=rng.randint(3, 10))
+        q = random_query(rng)
+        r2 = coknn(build_point_tree(points), build_obstacle_tree(obstacles),
+                   q, k=k)
+        r1 = coknn_single_tree(build_unified_tree(points, obstacles), q, k=k)
+        ts = np.linspace(0, q.length, 101)
+        for lvl in range(k):
+            assert same_values(r2.levels[lvl].values(ts),
+                               r1.levels[lvl].values(ts))
+
+    def test_same_tuples_k1(self, rng):
+        points, obstacles = random_scene(rng)
+        q = random_query(rng)
+        r2 = conn(build_point_tree(points), build_obstacle_tree(obstacles), q)
+        r1 = conn_single_tree(build_unified_tree(points, obstacles), q)
+        assert [o for o, _ in r2.tuples()] == [o for o, _ in r1.tuples()]
+        for (_o2, (l2, h2)), (_o1, (l1, h1)) in zip(r2.tuples(), r1.tuples()):
+            assert l2 == pytest.approx(l1, abs=1e-6)
+            assert h2 == pytest.approx(h1, abs=1e-6)
+
+
+class TestTraversalBehavior:
+    def test_single_tree_uses_one_tracker(self, rng):
+        points, obstacles = random_scene(rng)
+        q = random_query(rng)
+        tree = build_unified_tree(points, obstacles)
+        res = conn_single_tree(tree, q)
+        assert res.stats.io.logical_reads > 0
+
+    def test_obstacles_on_path_enter_graph(self):
+        points = [(0, (50.0, 30.0))]
+        obstacles = [RectObstacle(40, 10, 60, 20)]
+        tree = build_unified_tree(points, obstacles)
+        q = Segment(0, 0, 100, 0)
+        res = conn_single_tree(tree, q)
+        assert res.stats.noe == 1  # the blocking obstacle was encountered
+
+    def test_degenerate_query_rejected(self, rng):
+        points, obstacles = random_scene(rng)
+        tree = build_unified_tree(points, obstacles)
+        with pytest.raises(ValueError):
+            conn_single_tree(tree, Segment(1, 1, 1, 1))
+
+    def test_empty_unified_tree(self):
+        tree = build_unified_tree([], [])
+        res = conn_single_tree(tree, Segment(0, 0, 10, 0))
+        assert res.tuples() == [(None, (0.0, 10.0))]
+
+    def test_obstacle_only_tree(self):
+        tree = build_unified_tree([], [RectObstacle(1, 1, 2, 2)])
+        res = conn_single_tree(tree, Segment(0, 0, 10, 0))
+        assert res.tuples() == [(None, (0.0, 10.0))]
+        assert res.stats.npe == 0
+
+    def test_points_only_tree_matches_2t(self, rng):
+        points, _ = random_scene(rng, n_obstacles=0)
+        q = random_query(rng)
+        r1 = conn_single_tree(build_unified_tree(points, []), q)
+        r2 = conn(build_point_tree(points), build_obstacle_tree([]), q)
+        ts = np.linspace(0, q.length, 51)
+        assert same_values(r1.envelope.values(ts), r2.envelope.values(ts))

@@ -1,0 +1,191 @@
+"""PiecewiseDistance: partitioning, evaluation, and the min-envelope merge."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import ConnConfig, PiecewiseDistance, QueryStats
+from repro.core.distance_function import Piece
+from repro.geometry import IntervalSet, Segment
+
+Q = Segment(0, 0, 100, 0)
+
+
+def fn(cp, base, owner, region=None):
+    region = region if region is not None else IntervalSet.full(0, Q.length)
+    return PiecewiseDistance.from_region(Q, region, cp, base, owner)
+
+
+class TestConstruction:
+    def test_unknown_covers_everything(self):
+        f = PiecewiseDistance.unknown(Q)
+        f.assert_partition()
+        assert f.all_unknown()
+        assert math.isinf(f.value(50.0))
+        assert math.isinf(f.max_endpoint_value())
+
+    def test_from_full_region(self):
+        f = fn((50, 10), 5.0, "a")
+        f.assert_partition()
+        assert f.covered()
+        assert f.value(50.0) == pytest.approx(15.0)
+
+    def test_from_partial_region(self):
+        f = fn((50, 10), 0.0, "a", IntervalSet([(20, 60)]))
+        f.assert_partition()
+        assert math.isinf(f.value(10.0))
+        assert math.isfinite(f.value(40.0))
+        assert math.isinf(f.value(80.0))
+
+    def test_from_multi_interval_region(self):
+        f = fn((50, 10), 0.0, "a", IntervalSet([(0, 20), (40, 60), (90, 100)]))
+        f.assert_partition()
+        assert len(f.pieces) == 5
+
+    def test_from_empty_region_is_unknown(self):
+        f = fn((50, 10), 0.0, "a", IntervalSet.empty())
+        assert f.all_unknown()
+
+
+class TestEvaluation:
+    def test_value_is_base_plus_distance(self):
+        f = fn((30, 40), 7.0, "a")
+        assert f.value(30.0) == pytest.approx(47.0)
+        assert f.value(0.0) == pytest.approx(7.0 + 50.0)
+
+    def test_values_vectorized_match_scalar(self):
+        f = fn((30, 40), 7.0, "a", IntervalSet([(10, 80)]))
+        ts = np.linspace(0, 100, 51)
+        vals = f.values(ts)
+        for t, v in zip(ts, vals):
+            s = f.value(float(t))
+            assert (math.isinf(v) and math.isinf(s)) or \
+                v == pytest.approx(s, abs=1e-9)
+
+    def test_max_endpoint_value(self):
+        f = fn((0, 10), 0.0, "a")
+        # farthest endpoint is t=100 -> dist = sqrt(100^2 + 10^2)
+        assert f.max_endpoint_value() == pytest.approx(math.hypot(100, 10))
+
+    def test_owner_tuples_merge_across_cps(self):
+        pieces = [Piece(0, 40, (10, 10), 0.0, "a"),
+                  Piece(40, 100, (70, 10), 2.0, "a")]
+        f = PiecewiseDistance(Q, pieces)
+        assert f.owner_tuples() == [("a", (0, 100))]
+
+    def test_split_points_on_owner_change(self):
+        pieces = [Piece(0, 40, (10, 10), 0.0, "a"),
+                  Piece(40, 100, (70, 10), 0.0, "b")]
+        f = PiecewiseDistance(Q, pieces)
+        assert f.split_points() == [40]
+
+
+class TestMergeMin:
+    def test_challenger_into_unknown_wins_everywhere(self):
+        incumbent = PiecewiseDistance.unknown(Q)
+        challenger = fn((50, 5), 0.0, "a")
+        win, lose, changed = incumbent.merge_min(challenger)
+        assert changed
+        win.assert_partition()
+        assert win.owner_at(50.0) == "a"
+        assert lose.all_unknown()
+
+    def test_merge_is_pointwise_min(self):
+        a = fn((20, 10), 0.0, "a")
+        b = fn((80, 10), 0.0, "b")
+        win, lose, _ = a.merge_min(b)
+        win.assert_partition()
+        lose.assert_partition()
+        ts = np.linspace(0, 100, 201)
+        va = a.values(ts)
+        vb = b.values(ts)
+        vw = win.values(ts)
+        vl = lose.values(ts)
+        assert np.allclose(vw, np.minimum(va, vb), atol=1e-6)
+        assert np.allclose(vl, np.maximum(va, vb), atol=1e-6)
+
+    def test_merge_winner_owners_correct(self):
+        a = fn((20, 10), 0.0, "a")
+        b = fn((80, 10), 0.0, "b")
+        win, _, _ = a.merge_min(b)
+        assert win.owner_at(5.0) == "a"
+        assert win.owner_at(95.0) == "b"
+        assert win.split_points() == pytest.approx([50.0])
+
+    def test_tie_keeps_incumbent(self):
+        a = fn((50, 10), 0.0, "a")
+        b = fn((50, 10), 0.0, "b")
+        win, _, changed = a.merge_min(b)
+        assert not changed
+        assert all(p.owner == "a" for p in win.pieces)
+
+    def test_same_cp_smaller_base_wins(self):
+        a = fn((50, 10), 5.0, "a")
+        b = fn((50, 10), 1.0, "b")
+        win, _, changed = a.merge_min(b)
+        assert changed and win.owner_at(50.0) == "b"
+
+    def test_partial_regions_compose(self):
+        a = fn((20, 5), 0.0, "a", IntervalSet([(0, 50)]))
+        b = fn((80, 5), 0.0, "b", IntervalSet([(30, 100)]))
+        win, _, _ = a.merge_min(b)
+        win.assert_partition()
+        assert win.owner_at(10.0) == "a"
+        assert win.owner_at(90.0) == "b"
+        # Both known in the overlap: winner by distance.
+        assert win.owner_at(35.0) == "a"
+
+    def test_lemma1_prune_counted_and_correct(self):
+        stats = QueryStats()
+        cfg = ConnConfig()
+        # Incumbent close to the line, challenger far with no chance.
+        a = fn((50, 2), 0.0, "a")
+        b = fn((50, 40), 0.0, "b")
+        win, _, changed = a.merge_min(b, cfg, stats)
+        assert not changed
+        assert stats.lemma1_prunes >= 1
+        assert stats.split_solves == 0
+
+    def test_lemma1_disabled_same_result(self):
+        rng = random.Random(1)
+        for _ in range(30):
+            a = fn((rng.uniform(0, 100), rng.uniform(1, 40)),
+                   rng.uniform(0, 30), "a")
+            b = fn((rng.uniform(0, 100), rng.uniform(1, 40)),
+                   rng.uniform(0, 30), "b")
+            w1, _, _ = a.merge_min(b, ConnConfig())
+            w2, _, _ = a.merge_min(b, ConnConfig(use_lemma1=False))
+            ts = np.linspace(0, 100, 101)
+            assert np.allclose(w1.values(ts), w2.values(ts), atol=1e-6)
+
+    def test_randomized_envelopes_vs_sampling(self):
+        rng = random.Random(7)
+        ts = np.linspace(0, 100, 301)
+        for _ in range(20):
+            fns = [fn((rng.uniform(0, 100), rng.uniform(-40, 40)),
+                      rng.uniform(0, 30), i) for i in range(5)]
+            env = PiecewiseDistance.unknown(Q)
+            for f in fns:
+                env, _, _ = env.merge_min(f)
+                env.assert_partition()
+            want = np.min([f.values(ts) for f in fns], axis=0)
+            assert np.allclose(env.values(ts), want, atol=1e-5)
+
+    def test_loser_cascade_gives_second_best(self):
+        rng = random.Random(8)
+        ts = np.linspace(0, 100, 301)
+        for _ in range(10):
+            fns = [fn((rng.uniform(0, 100), rng.uniform(1, 40)),
+                      rng.uniform(0, 20), i) for i in range(4)]
+            lvl1 = PiecewiseDistance.unknown(Q)
+            lvl2 = PiecewiseDistance.unknown(Q)
+            for f in fns:
+                lvl1, carry, _ = lvl1.merge_min(f)
+                lvl2, _, _ = lvl2.merge_min(carry)
+            vals = np.sort(np.stack([f.values(ts) for f in fns]), axis=0)
+            assert np.allclose(lvl1.values(ts), vals[0], atol=1e-5)
+            assert np.allclose(lvl2.values(ts), vals[1], atol=1e-5)

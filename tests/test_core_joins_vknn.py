@@ -1,0 +1,184 @@
+"""Obstructed joins and visible-kNN: correctness against brute force."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    obstructed_closest_pair,
+    obstructed_e_distance_join,
+    obstructed_semi_join,
+    vknn,
+)
+from repro.obstacles import ObstacleSet, RectObstacle, obstructed_distance
+from tests.conftest import build_obstacle_tree, build_point_tree, random_scene
+
+
+def two_sets(rng, n_a=6, n_b=7, n_obstacles=6):
+    points_a, obstacles = random_scene(rng, n_points=n_a,
+                                       n_obstacles=n_obstacles)
+    points_b, _ = random_scene(rng, n_points=n_b, n_obstacles=0)
+
+    def inside(x, y):
+        return any(isinstance(o, RectObstacle) and
+                   o.rect.contains_point_open(x, y) for o in obstacles)
+
+    points_b = [(f"b{i}", xy) for i, (_pid, xy) in enumerate(points_b)
+                if not inside(*xy)]
+    points_a = [(f"a{i}", xy) for i, (_pid, xy) in enumerate(points_a)]
+    return points_a, points_b, obstacles
+
+
+def brute_pairs(points_a, points_b, obstacles):
+    out = {}
+    for pa, xa in points_a:
+        for pb, xb in points_b:
+            out[(pa, pb)] = obstructed_distance(xa, xb, obstacles)
+    return out
+
+
+class TestEDistanceJoin:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(9800 + seed)
+        points_a, points_b, obstacles = two_sets(rng)
+        e = rng.uniform(15, 50)
+        pairs, _stats = obstructed_e_distance_join(
+            build_point_tree(points_a), build_point_tree(points_b),
+            build_obstacle_tree(obstacles), e)
+        want = {(pa, pb): d for (pa, pb), d in
+                brute_pairs(points_a, points_b, obstacles).items()
+                if d <= e + 1e-9}
+        assert {(pa, pb) for pa, pb, _d in pairs} == set(want)
+        for pa, pb, d in pairs:
+            assert d == pytest.approx(want[(pa, pb)], abs=1e-6)
+
+    def test_sorted_by_distance(self, rng):
+        points_a, points_b, obstacles = two_sets(rng)
+        pairs, _ = obstructed_e_distance_join(
+            build_point_tree(points_a), build_point_tree(points_b),
+            build_obstacle_tree(obstacles), 60.0)
+        dists = [d for _a, _b, d in pairs]
+        assert dists == sorted(dists)
+
+    def test_negative_e_rejected(self, rng):
+        points_a, points_b, obstacles = two_sets(rng)
+        with pytest.raises(ValueError):
+            obstructed_e_distance_join(build_point_tree(points_a),
+                                       build_point_tree(points_b),
+                                       build_obstacle_tree(obstacles), -1.0)
+
+    def test_empty_inputs(self, rng):
+        points_a, _points_b, obstacles = two_sets(rng)
+        pairs, _ = obstructed_e_distance_join(
+            build_point_tree(points_a), build_point_tree([]),
+            build_obstacle_tree(obstacles), 10.0)
+        assert pairs == []
+
+
+class TestClosestPair:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(9900 + seed)
+        points_a, points_b, obstacles = two_sets(rng)
+        got, _stats = obstructed_closest_pair(
+            build_point_tree(points_a), build_point_tree(points_b),
+            build_obstacle_tree(obstacles))
+        table = brute_pairs(points_a, points_b, obstacles)
+        finite = {k: v for k, v in table.items() if math.isfinite(v)}
+        if not finite:
+            assert got is None
+            return
+        want_d = min(finite.values())
+        assert got is not None
+        _pa, _pb, d = got
+        assert d == pytest.approx(want_d, abs=1e-6)
+
+    def test_empty_side_returns_none(self, rng):
+        points_a, _points_b, obstacles = two_sets(rng)
+        got, _ = obstructed_closest_pair(build_point_tree(points_a),
+                                         build_point_tree([]),
+                                         build_obstacle_tree(obstacles))
+        assert got is None
+
+    def test_obstacle_changes_winner(self):
+        points_a = [("a0", (0.0, 0.0))]
+        points_b = [("near", (10.0, 0.0)), ("far", (0.0, -13.0))]
+        wall = RectObstacle(4, -30, 6, 30)
+        free, _ = obstructed_closest_pair(build_point_tree(points_a),
+                                          build_point_tree(points_b),
+                                          build_obstacle_tree([]))
+        assert free[1] == "near"
+        blocked, _ = obstructed_closest_pair(build_point_tree(points_a),
+                                             build_point_tree(points_b),
+                                             build_obstacle_tree([wall]))
+        assert blocked[1] == "far"
+
+
+class TestSemiJoin:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(10_000 + seed)
+        points_a, points_b, obstacles = two_sets(rng)
+        if not points_b:
+            return
+        rows, _stats = obstructed_semi_join(
+            build_point_tree(points_a), build_point_tree(points_b),
+            build_obstacle_tree(obstacles))
+        table = brute_pairs(points_a, points_b, obstacles)
+        assert len(rows) == len(points_a)
+        for pa, pb, d in rows:
+            want = min(table[(pa, q)] for q, _xy in points_b)
+            if math.isinf(want):
+                assert math.isinf(d)
+            else:
+                assert d == pytest.approx(want, abs=1e-6)
+
+    def test_row_per_outer_point(self, rng):
+        points_a, points_b, obstacles = two_sets(rng)
+        rows, _ = obstructed_semi_join(build_point_tree(points_a),
+                                       build_point_tree(points_b),
+                                       build_obstacle_tree(obstacles))
+        assert [pa for pa, _pb, _d in rows] and len(rows) == len(points_a)
+
+
+class TestVkNN:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(10_100 + seed)
+        points, obstacles = random_scene(rng, n_points=14, n_obstacles=8)
+        qx, qy = rng.uniform(0, 100), rng.uniform(0, 100)
+        k = rng.choice((1, 3, 5))
+        got, _stats = vknn(build_point_tree(points),
+                           build_obstacle_tree(obstacles), qx, qy, k=k)
+        oset = ObstacleSet(obstacles)
+        visible = sorted(
+            (math.hypot(x - qx, y - qy), pid)
+            for pid, (x, y) in points
+            if not oset.blocked(qx, qy, x, y))
+        want = visible[:k]
+        assert len(got) == len(want)
+        for (gp, gd), (wd, wp) in zip(got, want):
+            assert gd == pytest.approx(wd, abs=1e-9)
+
+    def test_hidden_points_excluded(self):
+        points = [("hidden", (10.0, 0.0)), ("seen", (0.0, 20.0))]
+        wall = RectObstacle(4, -5, 6, 5)
+        got, _ = vknn(build_point_tree(points), build_obstacle_tree([wall]),
+                      0, 0, k=2)
+        assert [p for p, _d in got] == ["seen"]
+
+    def test_distances_euclidean_not_obstructed(self):
+        points = [("p", (10.0, 0.0))]
+        got, _ = vknn(build_point_tree(points), build_obstacle_tree([]),
+                      0, 0, k=1)
+        assert got[0][1] == pytest.approx(10.0)
+
+    def test_invalid_k(self, rng):
+        points, obstacles = random_scene(rng)
+        with pytest.raises(ValueError):
+            vknn(build_point_tree(points), build_obstacle_tree(obstacles),
+                 0, 0, k=0)

@@ -1,0 +1,121 @@
+"""Snapshot ONN queries and indexed pairwise obstructed distance."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.baselines import naive_onn
+from repro.core import ConnConfig, obstructed_distance_indexed, onn
+from repro.obstacles import RectObstacle, SegmentObstacle, obstructed_distance
+from tests.conftest import build_obstacle_tree, build_point_tree, random_scene
+
+
+class TestONN:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_naive_oracle(self, seed):
+        rng = random.Random(7000 + seed)
+        points, obstacles = random_scene(rng, n_points=12, n_obstacles=8)
+        qx, qy = rng.uniform(0, 100), rng.uniform(0, 100)
+        k = rng.choice((1, 2, 4))
+        got, _stats = onn(build_point_tree(points),
+                          build_obstacle_tree(obstacles), qx, qy, k=k)
+        want = naive_onn(points, obstacles, (qx, qy), k=k)
+        assert len(got) == len(want)
+        for (gp, gd), (wp, wd) in zip(got, want):
+            assert gd == pytest.approx(wd, abs=1e-6)
+
+    def test_distances_ascending(self, rng):
+        points, obstacles = random_scene(rng, n_points=15)
+        got, _ = onn(build_point_tree(points), build_obstacle_tree(obstacles),
+                     50, 50, k=5)
+        dists = [d for _p, d in got]
+        assert dists == sorted(dists)
+
+    def test_k1_is_true_obstructed_nn(self, rng):
+        points, obstacles = random_scene(rng, n_points=10, n_obstacles=6)
+        got, _ = onn(build_point_tree(points), build_obstacle_tree(obstacles),
+                     30, 40, k=1)
+        assert len(got) == 1
+        payload, d = got[0]
+        all_d = {pid: obstructed_distance(xy, (30, 40), obstacles)
+                 for pid, xy in points}
+        assert d == pytest.approx(min(all_d.values()), abs=1e-6)
+
+    def test_obstacle_flips_winner(self):
+        points = [(0, (10.0, 0.0)), (1, (0.0, -12.0))]
+        wall = SegmentObstacle(5, -10, 5, 10)
+        dt = build_point_tree(points)
+        free, _ = onn(dt, build_obstacle_tree([]), 0, 0, k=1)
+        assert free[0][0] == 0
+        blocked, _ = onn(build_point_tree(points), build_obstacle_tree([wall]),
+                         0, 0, k=1)
+        assert blocked[0][0] == 1  # detour around the wall exceeds 12
+
+    def test_k_exceeds_dataset(self, rng):
+        points, obstacles = random_scene(rng, n_points=3)
+        got, _ = onn(build_point_tree(points), build_obstacle_tree(obstacles),
+                     50, 50, k=10)
+        assert len(got) == 3
+
+    def test_empty_dataset(self):
+        got, stats = onn(build_point_tree([]), build_obstacle_tree([]), 5, 5)
+        assert got == []
+        assert stats.npe == 0
+
+    def test_invalid_k(self, rng):
+        points, obstacles = random_scene(rng)
+        with pytest.raises(ValueError):
+            onn(build_point_tree(points), build_obstacle_tree(obstacles),
+                0, 0, k=0)
+
+    def test_stats_counters(self, rng):
+        points, obstacles = random_scene(rng, n_points=20)
+        _got, stats = onn(build_point_tree(points),
+                          build_obstacle_tree(obstacles), 50, 50, k=2)
+        assert 1 <= stats.npe <= len(points)
+        assert stats.io.logical_reads > 0
+
+    def test_euclidean_pruning_sound(self, rng):
+        """With pruning off, the result is identical (Lemma 2 analogue)."""
+        points, obstacles = random_scene(rng, n_points=15, n_obstacles=8)
+        dt = build_point_tree(points)
+        ot = build_obstacle_tree(obstacles)
+        fast, _ = onn(dt, ot, 25, 75, k=3)
+        slow, _ = onn(dt, ot, 25, 75, k=3, config=ConnConfig(use_rlmax=False))
+        assert [round(d, 6) for _p, d in fast] == [round(d, 6) for _p, d in slow]
+
+
+class TestIndexedObstructedDistance:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_full_graph_reference(self, seed):
+        rng = random.Random(8000 + seed)
+        _points, obstacles = random_scene(rng, n_points=0, n_obstacles=9)
+        pts, _ = random_scene(rng, n_points=2, n_obstacles=0)
+        a, b = pts[0][1], pts[1][1]
+        if any(isinstance(o, RectObstacle) and
+               (o.rect.contains_point_open(*a) or o.rect.contains_point_open(*b))
+               for o in obstacles):
+            return
+        tree = build_obstacle_tree(obstacles)
+        got = obstructed_distance_indexed(a, b, tree)
+        want = obstructed_distance(a, b, obstacles)
+        assert (math.isinf(got) and math.isinf(want)) or \
+            got == pytest.approx(want, abs=1e-6)
+
+    def test_straight_line_when_clear(self):
+        tree = build_obstacle_tree([RectObstacle(50, 50, 60, 60)])
+        d = obstructed_distance_indexed((0, 0), (3, 4), tree)
+        assert d == pytest.approx(5.0)
+
+    def test_only_nearby_obstacles_touched(self):
+        obstacles = [RectObstacle(4, 1, 6, 3)] + \
+            [RectObstacle(1000 + i, 1000, 1002 + i, 1002) for i in range(20)]
+        tree = build_obstacle_tree(obstacles)
+        before = tree.tracker.stats.logical_reads
+        d = obstructed_distance_indexed((0, 2), (10, 2), tree)
+        assert d > 10.0
+        # The far cluster should not be paged in beyond coarse node reads.
+        assert tree.tracker.stats.logical_reads - before < tree.num_pages

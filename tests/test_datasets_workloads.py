@@ -1,0 +1,152 @@
+"""Dataset generators and the benchmark workload generator."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.bench.workloads import query_workload, random_query_segment
+from repro.datasets import (
+    ObstacleGrid,
+    SPACE,
+    california_like_points,
+    la_street_obstacles,
+    random_rect_obstacles,
+    random_segment_obstacles,
+    reject_inside_obstacles,
+    uniform_points,
+    zipf_points,
+    zipf_value,
+)
+from repro.geometry import segment_crosses_rect_interior
+from repro.obstacles import RectObstacle
+
+
+def in_space(x, y, bounds=SPACE):
+    return bounds[0] <= x <= bounds[2] and bounds[1] <= y <= bounds[3]
+
+
+class TestPointGenerators:
+    def test_uniform_count_and_bounds(self):
+        pts = uniform_points(500, random.Random(1))
+        assert len(pts) == 500
+        assert all(in_space(x, y) for x, y in pts)
+
+    def test_uniform_deterministic_with_seed(self):
+        assert uniform_points(50, random.Random(7)) == \
+            uniform_points(50, random.Random(7))
+
+    def test_zipf_skew_toward_origin(self):
+        pts = zipf_points(3000, random.Random(2), alpha=0.8)
+        xs = sorted(x for x, _y in pts)
+        median = xs[len(xs) // 2]
+        # With alpha = 0.8, the median of x is far below the uniform median.
+        assert median < 1500.0
+
+    def test_zipf_alpha_zero_is_uniformish(self):
+        rng = random.Random(3)
+        vals = [zipf_value(rng, 0.0) for _ in range(4000)]
+        mean = sum(vals) / len(vals)
+        assert 0.45 < mean < 0.55
+
+    def test_zipf_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            zipf_value(random.Random(0), 1.5)
+
+    def test_california_like_clustered(self):
+        pts = california_like_points(2000, random.Random(4))
+        assert len(pts) == 2000
+        assert all(in_space(x, y) for x, y in pts)
+        # Clustered data has much lower nearest-neighbor spacing than uniform.
+        sample = pts[:200]
+
+        def mean_nn(ps):
+            total = 0.0
+            for i, (x, y) in enumerate(ps):
+                best = min(math.hypot(x - a, y - b)
+                           for j, (a, b) in enumerate(ps) if j != i)
+                total += best
+            return total / len(ps)
+
+        uni = uniform_points(200, random.Random(5))
+        assert mean_nn(sample) < mean_nn(uni)
+
+
+class TestObstacleGenerators:
+    def test_la_street_count_and_thinness(self):
+        obs = la_street_obstacles(800, random.Random(6))
+        assert len(obs) == 800
+        for o in obs:
+            r = o.rect
+            assert min(r.width, r.height) <= 14.0
+            assert max(r.width, r.height) >= min(r.width, r.height)
+
+    def test_la_street_zero(self):
+        assert la_street_obstacles(0, random.Random(0)) == []
+
+    def test_random_rect_obstacles_within_bounds(self):
+        obs = random_rect_obstacles(100, random.Random(7))
+        for o in obs:
+            r = o.rect
+            assert in_space(r.xlo, r.ylo) and in_space(r.xhi, r.yhi)
+
+    def test_random_segment_obstacles(self):
+        obs = random_segment_obstacles(50, random.Random(8))
+        assert len(obs) == 50
+
+    def test_reject_inside_obstacles(self):
+        rng = random.Random(9)
+        obs = [RectObstacle(0, 0, 5000, 5000)]
+        pts = [(2500.0, 2500.0), (9000.0, 9000.0)]
+        fixed = reject_inside_obstacles(pts, obs, rng)
+        assert len(fixed) == 2
+        assert not obs[0].rect.contains_point_open(*fixed[0])
+        assert fixed[1] == (9000.0, 9000.0)
+
+
+class TestObstacleGrid:
+    def test_inside_lookup(self):
+        obs = [RectObstacle(100, 100, 200, 200)]
+        grid = ObstacleGrid(obs)
+        assert grid.inside_any(150, 150)
+        assert not grid.inside_any(250, 250)
+        assert not grid.inside_any(100, 100)  # boundary is allowed
+
+    def test_candidates_near(self):
+        obs = [RectObstacle(100, 100, 200, 200), RectObstacle(9000, 9000, 9100, 9100)]
+        grid = ObstacleGrid(obs)
+        near = grid.candidates_near(0, 0, 300, 300)
+        assert obs[0] in near and obs[1] not in near
+
+
+class TestWorkloads:
+    def test_query_length_controlled(self):
+        rng = random.Random(10)
+        for ql in (1.5, 4.5, 7.5):
+            seg = random_query_segment(rng, ql)
+            assert seg.length == pytest.approx(10000.0 * ql / 100.0, rel=1e-9)
+
+    def test_queries_stay_in_space(self):
+        rng = random.Random(11)
+        for _ in range(50):
+            seg = random_query_segment(rng, 7.5)
+            assert in_space(seg.ax, seg.ay) and in_space(seg.bx, seg.by)
+
+    def test_queries_avoid_obstacle_interiors(self):
+        rng = random.Random(12)
+        obs = la_street_obstacles(400, rng)
+        batch = query_workload(random.Random(13), 25, 4.5, obs)
+        for seg in batch:
+            for o in obs:
+                r = o.rect
+                assert not segment_crosses_rect_interior(
+                    seg.ax, seg.ay, seg.bx, seg.by,
+                    r.xlo, r.ylo, r.xhi, r.yhi)
+
+    def test_workload_deterministic(self):
+        obs = la_street_obstacles(100, random.Random(14))
+        a = query_workload(random.Random(15), 5, 4.5, obs)
+        b = query_workload(random.Random(15), 5, 4.5, obs)
+        assert a == b

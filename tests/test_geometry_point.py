@@ -1,0 +1,111 @@
+"""Unit and property tests for the Point primitive."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, as_point, dist, dist_sq, lerp, midpoint
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+points = st.tuples(finite, finite).map(lambda t: Point(*t))
+
+
+class TestPointArithmetic:
+    def test_add_sub_roundtrip(self):
+        a = Point(3.0, 4.0)
+        b = Point(-1.0, 2.5)
+        assert (a + b) - b == a
+
+    def test_scalar_multiplication_both_sides(self):
+        p = Point(2.0, -3.0)
+        assert p * 2 == Point(4.0, -6.0)
+        assert 2 * p == Point(4.0, -6.0)
+
+    def test_negation(self):
+        assert -Point(1.0, -2.0) == Point(-1.0, 2.0)
+
+    def test_unpacks_like_tuple(self):
+        x, y = Point(7.0, 8.0)
+        assert (x, y) == (7.0, 8.0)
+
+    def test_dot_orthogonal_is_zero(self):
+        assert Point(1.0, 0.0).dot(Point(0.0, 5.0)) == 0.0
+
+    def test_cross_sign_reflects_orientation(self):
+        assert Point(1.0, 0.0).cross(Point(0.0, 1.0)) > 0
+        assert Point(0.0, 1.0).cross(Point(1.0, 0.0)) < 0
+
+    def test_norm_345(self):
+        assert Point(3.0, 4.0).norm() == 5.0
+
+    def test_normalized_unit_length(self):
+        n = Point(3.0, 4.0).normalized()
+        assert math.isclose(n.norm(), 1.0)
+
+    def test_normalized_zero_vector_raises(self):
+        import pytest
+
+        with pytest.raises(ZeroDivisionError):
+            Point(0.0, 0.0).normalized()
+
+    def test_perp_is_rotation_ccw(self):
+        assert Point(1.0, 0.0).perp() == Point(0.0, 1.0)
+
+    def test_perp_preserves_norm(self):
+        p = Point(3.0, -7.0)
+        assert math.isclose(p.perp().norm(), p.norm())
+
+
+class TestDistanceHelpers:
+    def test_dist_known_value(self):
+        assert dist((0, 0), (3, 4)) == 5.0
+
+    def test_dist_sq_avoids_sqrt(self):
+        assert dist_sq((0, 0), (3, 4)) == 25.0
+
+    def test_midpoint(self):
+        assert midpoint((0, 0), (10, 4)) == Point(5.0, 2.0)
+
+    def test_lerp_endpoints(self):
+        assert lerp((1, 1), (5, 9), 0.0) == Point(1.0, 1.0)
+        assert lerp((1, 1), (5, 9), 1.0) == Point(5.0, 9.0)
+
+    def test_lerp_middle(self):
+        assert lerp((0, 0), (2, 4), 0.5) == Point(1.0, 2.0)
+
+    def test_as_point_accepts_tuples(self):
+        p = as_point((1, 2))
+        assert isinstance(p, Point)
+        assert p == Point(1.0, 2.0)
+
+    def test_as_point_passthrough(self):
+        p = Point(1.0, 2.0)
+        assert as_point(p) is p
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_dist_symmetry(self, a, b):
+        assert math.isclose(a.dist(b), b.dist(a), abs_tol=1e-9)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.dist(c) <= a.dist(b) + b.dist(c) + 1e-7
+
+    @given(points)
+    def test_dist_to_self_is_zero(self, p):
+        assert p.dist(p) == 0.0
+
+    @given(points, points)
+    def test_dist_sq_consistent_with_dist(self, a, b):
+        assert math.isclose(a.dist(b) ** 2, a.dist_sq(b), rel_tol=1e-9,
+                            abs_tol=1e-9)
+
+    @given(points, points)
+    def test_midpoint_equidistant(self, a, b):
+        m = midpoint(a, b)
+        assert math.isclose(dist(m, a), dist(m, b), rel_tol=1e-9, abs_tol=1e-6)

@@ -1,0 +1,208 @@
+"""R*-tree structure and query correctness, incl. hypothesis battles vs brute force."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.index import RStarTree, knn
+
+coord = st.floats(min_value=0, max_value=1000, allow_nan=False,
+                  allow_infinity=False)
+
+
+def brute_knn(points, x, y, k):
+    return [pid for pid, _ in
+            sorted(points, key=lambda p: math.hypot(p[1][0] - x, p[1][1] - y))[:k]]
+
+
+def brute_range(points, rect: Rect):
+    return sorted(pid for pid, (x, y) in points if rect.contains_point(x, y))
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        t = RStarTree()
+        t.check_invariants()
+        assert t.size == 0 and t.height == 1
+        assert t.range_search(Rect(0, 0, 10, 10)) == []
+
+    def test_fanout_from_page_size(self):
+        t = RStarTree(page_size=4096)
+        assert t.max_entries == (4096 - 16) // 40
+        assert t.min_entries == max(2, int(t.max_entries * 0.4))
+
+    def test_page_size_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RStarTree(page_size=64)
+
+    def test_invalid_rect_rejected(self):
+        t = RStarTree()
+        with pytest.raises(ValueError):
+            t.insert("x", Rect(5, 5, 1, 1))
+
+    def test_single_insert(self):
+        t = RStarTree()
+        t.insert_point("a", 1, 2)
+        t.check_invariants()
+        assert t.size == 1
+        assert t.range_search(Rect(0, 0, 3, 3)) == ["a"]
+
+
+class TestInsertionGrowth:
+    def test_splits_preserve_invariants(self, rng):
+        t = RStarTree(page_size=256)
+        for i in range(500):
+            t.insert_point(i, rng.uniform(0, 100), rng.uniform(0, 100))
+        t.check_invariants()
+        assert t.height >= 3
+
+    def test_duplicate_coordinates(self):
+        t = RStarTree(page_size=256)
+        for i in range(100):
+            t.insert_point(i, 5.0, 5.0)
+        t.check_invariants()
+        assert sorted(t.range_search(Rect(5, 5, 5, 5))) == list(range(100))
+
+    def test_collinear_points(self):
+        t = RStarTree(page_size=256)
+        for i in range(200):
+            t.insert_point(i, float(i), 0.0)
+        t.check_invariants()
+        assert sorted(t.range_search(Rect(10, 0, 20, 0))) == list(range(10, 21))
+
+    def test_rect_items(self, rng):
+        t = RStarTree(page_size=256)
+        items = []
+        for i in range(300):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            r = Rect(x, y, x + rng.uniform(0, 10), y + rng.uniform(0, 10))
+            items.append((i, r))
+            t.insert(i, r)
+        t.check_invariants()
+        probe = Rect(20, 20, 40, 40)
+        want = sorted(i for i, r in items if r.intersects(probe))
+        assert sorted(t.range_search(probe)) == want
+
+
+class TestDeletion:
+    def test_delete_missing_returns_false(self):
+        t = RStarTree()
+        t.insert_point("a", 1, 1)
+        assert not t.delete("b", Rect.point(1, 1))
+        assert t.size == 1
+
+    def test_delete_to_empty(self, rng):
+        t = RStarTree(page_size=256)
+        pts = [(i, (rng.uniform(0, 50), rng.uniform(0, 50))) for i in range(120)]
+        for i, (x, y) in pts:
+            t.insert_point(i, x, y)
+        for i, (x, y) in pts:
+            assert t.delete(i, Rect.point(x, y))
+        t.check_invariants()
+        assert t.size == 0
+
+    def test_interleaved_insert_delete(self, rng):
+        t = RStarTree(page_size=256)
+        alive = {}
+        next_id = 0
+        for _round in range(600):
+            if alive and rng.random() < 0.4:
+                pid = rng.choice(list(alive))
+                x, y = alive.pop(pid)
+                assert t.delete(pid, Rect.point(x, y))
+            else:
+                x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+                t.insert_point(next_id, x, y)
+                alive[next_id] = (x, y)
+                next_id += 1
+        t.check_invariants()
+        assert t.size == len(alive)
+        got = sorted(t.range_search(Rect(0, 0, 100, 100)))
+        assert got == sorted(alive)
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 50, 333, 2000])
+    def test_sizes(self, n, rng):
+        items = [(i, Rect.point(rng.uniform(0, 100), rng.uniform(0, 100)))
+                 for i in range(n)]
+        t = RStarTree.bulk_load(items, page_size=256)
+        t.check_invariants()
+        assert t.size == n
+
+    def test_bulk_equals_insert_results(self, rng):
+        pts = [(i, (rng.uniform(0, 100), rng.uniform(0, 100)))
+               for i in range(400)]
+        t1 = RStarTree(page_size=256)
+        for i, (x, y) in pts:
+            t1.insert_point(i, x, y)
+        t2 = RStarTree.bulk_load(((i, Rect.point(x, y)) for i, (x, y) in pts),
+                                 page_size=256)
+        probe = Rect(25, 25, 60, 75)
+        assert sorted(t1.range_search(probe)) == sorted(t2.range_search(probe))
+        assert ([p for _, p in knn(t1, 50, 50, 7)] ==
+                [p for _, p in knn(t2, 50, 50, 7)])
+
+    def test_bulk_load_supports_further_inserts(self, rng):
+        items = [(i, Rect.point(rng.uniform(0, 100), rng.uniform(0, 100)))
+                 for i in range(200)]
+        t = RStarTree.bulk_load(items, page_size=256)
+        for i in range(200, 260):
+            t.insert_point(i, rng.uniform(0, 100), rng.uniform(0, 100))
+        t.check_invariants()
+        assert t.size == 260
+
+
+class TestQueriesAgainstBruteForce:
+    @given(st.lists(st.tuples(coord, coord), min_size=1, max_size=120),
+           st.tuples(coord, coord, coord, coord))
+    @settings(max_examples=30, deadline=None)
+    def test_range_query(self, pts, probe):
+        points = list(enumerate(pts))
+        t = RStarTree(page_size=256)
+        for i, (x, y) in points:
+            t.insert_point(i, x, y)
+        x1, x2 = sorted((probe[0], probe[2]))
+        y1, y2 = sorted((probe[1], probe[3]))
+        rect = Rect(x1, y1, x2, y2)
+        assert sorted(t.range_search(rect)) == brute_range(points, rect)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=1, max_size=120),
+           coord, coord, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_knn_distances_match_brute(self, pts, qx, qy, k):
+        points = list(enumerate(pts))
+        t = RStarTree(page_size=256)
+        for i, (x, y) in points:
+            t.insert_point(i, x, y)
+        got = knn(t, qx, qy, k)
+        want_ids = brute_knn(points, qx, qy, k)
+        # Distances must agree even when ties reorder ids.
+        want_d = sorted(math.hypot(pts[i][0] - qx, pts[i][1] - qy)
+                        for i in want_ids)
+        got_d = sorted(d for d, _ in got)
+        assert len(got) == min(k, len(points))
+        for g, w in zip(got_d, want_d):
+            assert math.isclose(g, w, abs_tol=1e-7)
+
+
+class TestIOAccounting:
+    def test_queries_read_pages(self, rng):
+        t = RStarTree(page_size=256)
+        for i in range(500):
+            t.insert_point(i, rng.uniform(0, 100), rng.uniform(0, 100))
+        before = t.tracker.stats.logical_reads
+        t.range_search(Rect(0, 0, 100, 100))
+        assert t.tracker.stats.logical_reads > before
+
+    def test_num_pages_counts_nodes(self, rng):
+        t = RStarTree(page_size=256)
+        for i in range(300):
+            t.insert_point(i, rng.uniform(0, 100), rng.uniform(0, 100))
+        assert t.num_pages >= t.height

@@ -1,0 +1,172 @@
+"""Obstructed distance/path: known geometries, networkx cross-check, invariants."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.geometry import dist
+from repro.obstacles import (
+    ObstacleSet,
+    RectObstacle,
+    SegmentObstacle,
+    all_obstructed_distances,
+    build_full_graph,
+    obstructed_distance,
+    obstructed_path,
+)
+from tests.conftest import random_scene
+
+
+class TestKnownGeometries:
+    def test_no_obstacles_straight_line(self):
+        d, path = obstructed_path((0, 0), (3, 4), [])
+        assert math.isclose(d, 5.0)
+        assert len(path) == 2
+
+    def test_single_wall_detour(self):
+        # Wall between the points: path must round an endpoint.
+        wall = SegmentObstacle(5, -5, 5, 5)
+        d = obstructed_distance((0, 0), (10, 0), [wall])
+        want = dist((0, 0), (5, 5)) + dist((5, 5), (10, 0))
+        assert math.isclose(d, want, rel_tol=1e-9)
+
+    def test_rect_detour_around_corner(self):
+        box = RectObstacle(4, -2, 6, 2)
+        d = obstructed_distance((0, 0), (10, 0), [box])
+        want = dist((0, 0), (4, 2)) + dist((4, 2), (6, 2)) + dist((6, 2), (10, 0))
+        assert math.isclose(d, want, rel_tol=1e-9)
+
+    def test_path_bends_at_obstacle_vertices(self):
+        box = RectObstacle(4, -2, 6, 2)
+        _d, path = obstructed_path((0, 0), (10, 0), [box])
+        corners = {(4, -2), (6, -2), (4, 2), (6, 2)}
+        for p in path[1:-1]:
+            assert (p.x, p.y) in corners
+
+    def test_obstacle_not_blocking_is_ignored(self):
+        box = RectObstacle(4, 5, 6, 9)
+        d = obstructed_distance((0, 0), (10, 0), [box])
+        assert math.isclose(d, 10.0)
+
+    def test_sealed_target_unreachable(self):
+        # Walls must genuinely overlap: paths may graze along touching
+        # boundaries, so a box of merely edge-adjacent rectangles leaks.
+        walls = [RectObstacle(2.8, 2.8, 7.2, 4.1), RectObstacle(2.8, 5.9, 7.2, 7.2),
+                 RectObstacle(2.8, 4.0, 4.1, 6.0), RectObstacle(5.9, 4.0, 7.2, 6.0)]
+        d, path = obstructed_path((0, 0), (5, 5), walls)
+        assert math.isinf(d)
+        assert path == []
+
+    def test_touching_box_leaks_through_seam(self):
+        # The companion case: edge-adjacent (non-overlapping) walls leave a
+        # grazing path along the shared boundary, so the cavity IS reachable.
+        walls = [RectObstacle(3, 3, 7, 4), RectObstacle(3, 6, 7, 7),
+                 RectObstacle(3, 4, 4, 6), RectObstacle(6, 4, 7, 6)]
+        d, _path = obstructed_path((0, 0), (5, 5), walls)
+        assert math.isfinite(d)
+
+    def test_touching_walls_allow_corner_slip(self):
+        # Two walls meeting at a point: passing through the shared vertex is
+        # allowed (paths may graze vertices).
+        w1 = SegmentObstacle(0, 5, 5, 5)
+        w2 = SegmentObstacle(5, 5, 10, 5)
+        d = obstructed_distance((5, 0), (5, 10), [w1, w2])
+        assert math.isclose(d, 10.0)
+
+    def test_point_on_obstacle_boundary(self):
+        box = RectObstacle(4, 0, 6, 2)
+        # Source sits exactly on the boundary: allowed, path hugs the rect.
+        d = obstructed_distance((4, 0), (10, 0), [box])
+        assert math.isclose(d, 6.0)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_distance_equals_networkx_on_full_graph(self, seed):
+        rng = random.Random(seed)
+        _points, obstacles = random_scene(rng, n_points=0, n_obstacles=9)
+        a = (rng.uniform(0, 100), rng.uniform(0, 100))
+        b = (rng.uniform(0, 100), rng.uniform(0, 100))
+        obs = ObstacleSet(obstacles)
+
+        def strictly_inside(p):
+            return any(isinstance(o, RectObstacle) and
+                       o.rect.contains_point_open(*p) for o in obstacles)
+
+        if strictly_inside(a) or strictly_inside(b):
+            return
+        adj = build_full_graph([a, b], obs)
+        g = nx.Graph()
+        g.add_nodes_from(range(len(adj)))
+        for i, nbrs in enumerate(adj):
+            for j, w in nbrs.items():
+                g.add_edge(i, j, weight=w)
+        try:
+            want = nx.dijkstra_path_length(g, 0, 1)
+        except nx.NetworkXNoPath:
+            want = math.inf
+        got = obstructed_distance(a, b, obstacles)
+        if math.isinf(want):
+            assert math.isinf(got)
+        else:
+            assert math.isclose(got, want, rel_tol=1e-9)
+
+
+class TestMetricProperties:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_symmetry(self, seed):
+        rng = random.Random(100 + seed)
+        _points, obstacles = random_scene(rng, n_points=0, n_obstacles=7)
+        pts, _obs2 = random_scene(rng, n_points=2, n_obstacles=0)
+        a, b = pts[0][1], pts[1][1]
+        d_ab = obstructed_distance(a, b, obstacles)
+        d_ba = obstructed_distance(b, a, obstacles)
+        assert (math.isinf(d_ab) and math.isinf(d_ba)) or \
+            math.isclose(d_ab, d_ba, rel_tol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lower_bounded_by_euclidean(self, seed):
+        rng = random.Random(200 + seed)
+        points, obstacles = random_scene(rng, n_points=4, n_obstacles=8)
+        for i in range(len(points)):
+            for j in range(i + 1, len(points)):
+                a, b = points[i][1], points[j][1]
+                d = obstructed_distance(a, b, obstacles)
+                assert d >= dist(a, b) - 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_triangle_inequality(self, seed):
+        rng = random.Random(300 + seed)
+        points, obstacles = random_scene(rng, n_points=3, n_obstacles=6)
+        (a, b, c) = (p[1] for p in points)
+        dab = obstructed_distance(a, b, obstacles)
+        dbc = obstructed_distance(b, c, obstacles)
+        dac = obstructed_distance(a, c, obstacles)
+        if all(map(math.isfinite, (dab, dbc, dac))):
+            assert dac <= dab + dbc + 1e-6
+
+    def test_path_length_consistent(self):
+        rng = random.Random(7)
+        _points, obstacles = random_scene(rng, n_points=0, n_obstacles=8)
+        a, b = (5, 5), (95, 95)
+        d, path = obstructed_path(a, b, obstacles)
+        if math.isfinite(d):
+            total = sum(path[i].dist(path[i + 1]) for i in range(len(path) - 1))
+            assert math.isclose(total, d, rel_tol=1e-9)
+            assert (path[0].x, path[0].y) == a
+            assert (path[-1].x, path[-1].y) == b
+
+    def test_all_distances_batch(self):
+        rng = random.Random(9)
+        points, obstacles = random_scene(rng, n_points=5, n_obstacles=6)
+        src = points[0][1]
+        targets = [p[1] for p in points[1:]]
+        batch = all_obstructed_distances(src, targets, obstacles)
+        single = [obstructed_distance(src, t, obstacles) for t in targets]
+        for g, w in zip(batch, single):
+            assert (math.isinf(g) and math.isinf(w)) or \
+                math.isclose(g, w, rel_tol=1e-9)

@@ -1,0 +1,154 @@
+"""Hypothesis property tests on the envelope algebra (the engine's heart)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConnConfig, PiecewiseDistance, crossing_params
+from repro.core.distance_function import Piece
+from repro.geometry import IntervalSet, Segment
+
+Q = Segment(0.0, 0.0, 100.0, 0.0)
+TS = np.linspace(0.0, 100.0, 201)
+
+coord = st.floats(min_value=-150.0, max_value=150.0, allow_nan=False,
+                  allow_infinity=False)
+base = st.floats(min_value=0.0, max_value=200.0, allow_nan=False,
+                 allow_infinity=False)
+
+
+@st.composite
+def distance_functions(draw, owner):
+    cp = (draw(coord), draw(coord))
+    b = draw(base)
+    # Sometimes restrict to a sub-region with unknown flanks.
+    if draw(st.booleans()):
+        lo = draw(st.floats(min_value=0, max_value=90))
+        hi = draw(st.floats(min_value=lo + 1.0, max_value=100))
+        region = IntervalSet([(lo, hi)])
+    else:
+        region = IntervalSet.full(0.0, Q.length)
+    return PiecewiseDistance.from_region(Q, region, cp, b, owner)
+
+
+def close(a, b, atol=1e-5):
+    with np.errstate(invalid="ignore"):
+        both_inf = np.isinf(a) & np.isinf(b)
+        return np.all(both_inf | (np.abs(np.where(both_inf, 0, a) -
+                                         np.where(both_inf, 0, b)) <= atol))
+
+
+class TestEnvelopeAlgebra:
+    @given(st.lists(st.integers(), min_size=1, max_size=5, unique=True)
+           .flatmap(lambda ids: st.tuples(*[distance_functions(i) for i in ids])))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_pointwise_min(self, fns):
+        env = PiecewiseDistance.unknown(Q)
+        for f in fns:
+            env, _, _ = env.merge_min(f)
+            env.assert_partition()
+        want = np.min([f.values(TS) for f in fns], axis=0)
+        assert close(env.values(TS), want)
+
+    @given(distance_functions("a"), distance_functions("b"),
+           distance_functions("c"))
+    @settings(max_examples=40, deadline=None)
+    def test_insertion_order_invariance(self, fa, fb, fc):
+        def build(order):
+            env = PiecewiseDistance.unknown(Q)
+            for f in order:
+                env, _, _ = env.merge_min(f)
+            return env.values(TS)
+
+        assert close(build([fa, fb, fc]), build([fc, fb, fa]))
+
+    @given(distance_functions("a"), distance_functions("b"))
+    @settings(max_examples=40, deadline=None)
+    def test_winner_loser_partition(self, fa, fb):
+        win, lose, _ = fa.merge_min(fb)
+        win.assert_partition()
+        lose.assert_partition()
+        # At a sample that coincides exactly with a piece boundary, closed
+        # intervals make both sides "known" at that single point while the
+        # loser's pieces are unknown on both flanks — a measure-zero
+        # evaluation artifact, not an envelope error.  Sample off-boundary.
+        bounds = np.array(fa.boundaries() + fb.boundaries())
+        ts = TS[np.min(np.abs(TS[:, None] - bounds[None, :]), axis=1) > 1e-6]
+        va = fa.values(ts)
+        vb = fb.values(ts)
+        assert close(win.values(ts), np.minimum(va, vb))
+        assert close(lose.values(ts), np.maximum(va, vb))
+
+    @given(distance_functions("a"), distance_functions("b"))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma1_flag_never_changes_values(self, fa, fb):
+        w1, _, _ = fa.merge_min(fb, ConnConfig(use_lemma1=True))
+        w2, _, _ = fa.merge_min(fb, ConnConfig(use_lemma1=False))
+        assert close(w1.values(TS), w2.values(TS))
+
+    @given(distance_functions("a"))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_with_unknown_is_identity(self, fa):
+        win, lose, changed = PiecewiseDistance.unknown(Q).merge_min(fa)
+        assert close(win.values(TS), fa.values(TS))
+        assert lose.all_unknown()
+
+    @given(distance_functions("a"))
+    @settings(max_examples=30, deadline=None)
+    def test_max_endpoint_value_bounds_function(self, fa):
+        m = fa.max_endpoint_value()
+        vals = fa.values(TS)
+        if math.isinf(m):
+            assert np.isinf(vals).any()
+        else:
+            assert np.all(vals <= m + 1e-6)
+
+
+class TestCrossingSymmetry:
+    @given(st.tuples(coord, coord), base, st.tuples(coord, coord), base)
+    @settings(max_examples=60, deadline=None)
+    def test_roots_symmetric_in_arguments(self, u, bu, v, bv):
+        # Control points on the query line can make the two path functions
+        # *identical* over whole sub-segments (both reduce to |t - t0| +
+        # const), where isolated roots are ill-defined; the engine resolves
+        # such ties by midpoint evaluation.  Test the generic configuration:
+        # both control points strictly off the line, roots strictly interior
+        # (a tangency at t=0/t=L may fall on either side of the inclusion
+        # margin depending on argument order).
+        assume(abs(u[1]) > 0.5 and abs(v[1]) > 0.5)
+
+        def interior(roots):
+            return [t for t in roots if 1e-4 < t < Q.length - 1e-4]
+
+        r1 = interior(crossing_params(Q, u, bu, v, bv, 0.0, Q.length))
+        r2 = interior(crossing_params(Q, v, bv, u, bu, 0.0, Q.length))
+        assert len(r1) == len(r2)
+        for a, b in zip(r1, r2):
+            assert abs(a - b) < 1e-4
+
+    @given(st.tuples(coord, coord), base,
+           st.floats(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_self_crossing_empty(self, u, bu, shift):
+        # Same control point, different bases: never equal (unless shift=0).
+        roots = crossing_params(Q, u, bu, u, bu + shift + 0.1, 0.0, Q.length)
+        assert roots == []
+
+
+class TestPieceInvariants:
+    @given(st.tuples(coord, coord), base,
+           st.floats(min_value=0, max_value=99),
+           st.floats(min_value=0.5, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_piece_value_convexity(self, cp, b, lo, width):
+        hi = min(lo + width, 100.0)
+        piece = Piece(lo, hi, cp, b, "x")
+        # Convexity along the segment: midpoint value <= endpoint average.
+        mid_v = piece.value_at(Q, (lo + hi) / 2)
+        avg = 0.5 * (piece.value_at(Q, lo) + piece.value_at(Q, hi))
+        assert mid_v <= avg + 1e-9
+        assert piece.max_value(Q) >= mid_v - 1e-9

@@ -1,0 +1,81 @@
+"""Public API surface: exports, docstrings, and the README code path."""
+
+from __future__ import annotations
+
+import inspect
+import random
+
+import pytest
+
+import repro
+import repro.baselines
+import repro.bench
+import repro.core
+import repro.datasets
+import repro.geometry
+import repro.index
+import repro.obstacles
+
+
+ALL_PACKAGES = [repro, repro.baselines, repro.bench, repro.core,
+                repro.datasets, repro.geometry, repro.index, repro.obstacles]
+
+
+class TestExports:
+    @pytest.mark.parametrize("pkg", ALL_PACKAGES,
+                             ids=lambda p: p.__name__)
+    def test_all_names_resolve(self, pkg):
+        for name in getattr(pkg, "__all__", []):
+            assert hasattr(pkg, name), f"{pkg.__name__}.{name} missing"
+
+    @pytest.mark.parametrize("pkg", ALL_PACKAGES,
+                             ids=lambda p: p.__name__)
+    def test_package_docstring(self, pkg):
+        assert pkg.__doc__ and len(pkg.__doc__.strip()) > 10
+
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", sorted(set(repro.__all__) - {"__version__"}))
+    def test_public_items_documented(self, name):
+        obj = getattr(repro, name)
+        if inspect.ismodule(obj):
+            return
+        doc = inspect.getdoc(obj)
+        assert doc, f"repro.{name} lacks a docstring"
+
+    def test_core_callables_have_docstrings(self):
+        for fn in (repro.conn, repro.coknn, repro.onn, repro.conn_single_tree,
+                   repro.coknn_single_tree, repro.obstructed_distance,
+                   repro.obstructed_path, repro.cnn_euclidean):
+            assert inspect.getdoc(fn)
+
+
+class TestReadmeFlow:
+    def test_readme_snippet_runs(self):
+        rng = random.Random(0)
+        data = repro.RStarTree()
+        for i in range(200):
+            data.insert_point(i, rng.uniform(0, 1000), rng.uniform(0, 1000))
+        obstacles = repro.RStarTree()
+        for _ in range(50):
+            x, y = rng.uniform(0, 950), rng.uniform(0, 950)
+            o = repro.RectObstacle(x, y, x + 40, y + 12)
+            obstacles.insert(o, o.mbr())
+        q = repro.Segment(100, 500, 900, 520)
+        result = repro.conn(data, obstacles, q)
+        assert result.tuples()
+        assert all(lo < hi for _o, (lo, hi) in result.tuples())
+        res3 = repro.coknn(data, obstacles, q, k=3)
+        assert len(res3.knn_at(q.length / 2)) == 3
+
+    def test_module_docstring_example_runs(self):
+        rng = random.Random(0)
+        data = repro.RStarTree()
+        for i in range(100):
+            data.insert_point(i, rng.uniform(0, 100), rng.uniform(0, 100))
+        obstacles = repro.RStarTree()
+        for o in [repro.RectObstacle(40, 40, 60, 60)]:
+            obstacles.insert(o, o.mbr())
+        result = repro.conn(data, obstacles, repro.Segment(0, 50, 100, 50))
+        assert result.tuples()

@@ -1,0 +1,76 @@
+"""Terminal visualization renderers."""
+
+from __future__ import annotations
+
+from repro.core import conn
+from repro.geometry import Segment
+from repro.obstacles import PolygonObstacle, RectObstacle, SegmentObstacle
+from repro.viz import render_profile, render_scene
+from tests.conftest import (
+    build_obstacle_tree,
+    build_point_tree,
+    random_query,
+    random_scene,
+)
+
+
+class TestRenderScene:
+    def test_dimensions(self, rng):
+        points, obstacles = random_scene(rng)
+        art = render_scene(points, obstacles, random_query(rng),
+                           width=60, height=20)
+        lines = art.split("\n")
+        assert len(lines) == 20
+        assert all(len(line) == 60 for line in lines)
+
+    def test_obstacle_marks_present(self):
+        art = render_scene([], [RectObstacle(10, 10, 90, 90)],
+                           Segment(0, 0, 100, 100))
+        assert "#" in art
+
+    def test_wall_marks_present(self):
+        art = render_scene([], [SegmentObstacle(10, 10, 90, 90)])
+        assert "/" in art
+
+    def test_polygon_marks_present(self):
+        art = render_scene([], [PolygonObstacle([(20, 20), (80, 25), (50, 80)])])
+        assert "#" in art
+
+    def test_query_endpoints_labeled(self):
+        art = render_scene([], [], Segment(0, 50, 100, 50))
+        assert "S" in art and "E" in art and "=" in art
+
+    def test_point_labels(self):
+        art = render_scene([("alpha", (50.0, 50.0)), ("beta", (10.0, 90.0))],
+                           [])
+        assert "a" in art and "b" in art
+
+    def test_empty_scene(self):
+        art = render_scene([], [])
+        assert len(art.split("\n")) == 24
+
+
+class TestRenderProfile:
+    def test_profile_shape(self, rng):
+        points, obstacles = random_scene(rng)
+        q = random_query(rng)
+        res = conn(build_point_tree(points), build_obstacle_tree(obstacles), q)
+        out = render_profile(res, width=50)
+        lines = out.split("\n")
+        assert len(lines[0]) == 50
+        assert len(lines[1]) == 50
+        assert "min" in lines[2] and "max" in lines[2]
+
+    def test_split_points_marked(self):
+        points = [(0, (20.0, 10.0)), (1, (80.0, 10.0))]
+        res = conn(build_point_tree(points), build_obstacle_tree([]),
+                   Segment(0, 0, 100, 0))
+        out = render_profile(res, width=40)
+        assert "^" in out.split("\n")[1]
+
+    def test_unreachable_marked(self):
+        res = conn(build_point_tree([]),
+                   build_obstacle_tree([RectObstacle(1, 1, 2, 2)]),
+                   Segment(0, 0, 10, 0))
+        out = render_profile(res)
+        assert "!" in out
