@@ -18,6 +18,7 @@ from repro.geometry import IntervalSet, Rect, Segment
 from repro.index import RStarTree, knn
 from repro.obstacles import LocalVisibilityGraph, visible_region
 from repro.datasets import la_street_obstacles, uniform_points
+from repro.service import Workspace
 
 
 @pytest.fixture(scope="module")
@@ -141,3 +142,56 @@ class TestSolverBenches:
 
         out = benchmark(churn)
         assert out.measure() <= 10000.0
+
+
+class TestWorkspaceCacheBenches:
+    """Service layer: warm queries over a shared obstacle cache."""
+
+    def _workspace(self, points_1k, streets_500):
+        points = list(enumerate(points_1k))
+        return Workspace.from_points(points, streets_500[:150],
+                                     overfetch=2.0)
+
+    def test_cold_then_warm_query(self, benchmark, points_1k, streets_500):
+        ws = self._workspace(points_1k, streets_500)
+        q = Segment(3000, 5000, 4000, 5050)
+        cold = ws.conn(q)  # first query fills the cache
+
+        warm = benchmark(ws.conn, q)
+        assert warm.tuples() == cold.tuples()
+        assert warm.stats.obstacle_reads == 0
+        counters = {
+            "cold_obstacle_reads": cold.stats.obstacle_reads,
+            "warm_obstacle_reads": warm.stats.obstacle_reads,
+            "warm_cache_hits": warm.stats.cache_hits,
+            "warm_cache_served": warm.stats.cache_served,
+            "cache_hit_rate": round(ws.cache_stats.hit_rate, 3),
+            "cache_inserted": ws.cache_stats.inserted,
+            "cache_prefetched": ws.cache_stats.prefetched,
+        }
+        benchmark.extra_info.update(counters)
+        print(f"\nworkspace cache counters: {counters}")
+
+    def test_prefetched_batch(self, benchmark, points_1k, streets_500):
+        queries = [Segment(3000 + 40 * i, 5000, 4000 + 40 * i, 5050)
+                   for i in range(5)]
+
+        def prefetched_batch():
+            ws = self._workspace(points_1k, streets_500)
+            ws.prefetch(Rect(2900, 4900, 4300, 5200), margin=2000.0)
+            return ws, ws.batch(queries)
+
+        ws, results = benchmark.pedantic(prefetched_batch, rounds=1,
+                                         iterations=1)
+        assert len(results) == len(queries)
+        stats = ws.cache_stats
+        counters = {
+            "prefetch_calls": stats.prefetch_calls,
+            "prefetched": stats.prefetched,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "served": stats.served,
+            "hit_rate": round(stats.hit_rate, 3),
+        }
+        benchmark.extra_info.update(counters)
+        print(f"\nprefetch counters: {counters}")

@@ -1,0 +1,70 @@
+"""Cold-vs-warm latency for a batch of correlated queries.
+
+Measures what the service layer's cross-query obstacle cache buys on the
+workload it targets: many queries over one dataset whose footprints overlap
+(continuous monitoring / moving queries).  Four variants answer the same
+batch — see :mod:`repro.bench.warmcold` — and every variant returns
+identical results; only obstacle-tree I/O and wall time differ.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_warm_cache.py
+    PYTHONPATH=src python benchmarks/bench_warm_cache.py --scale small --queries 100 --k 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Sequence
+
+from repro.bench.experiments import QUERIES_PER_SCALE, SCALES, make_dataset
+from repro.bench.metrics import format_table
+from repro.bench.warmcold import warm_cold_rows
+from repro.bench.workloads import clustered_query_workload
+
+COLUMNS = ("total_time_ms", "io_time_ms", "cpu_time_ms", "obstacle_reads",
+           "cache_hits", "cache_misses", "cache_served", "noe")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Cold vs warm workspace latency on a correlated batch.")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument("--queries", type=int, default=100,
+                        help="batch size (default 100, as in the paper's "
+                             "workloads)")
+    parser.add_argument("--k", type=int, default=1)
+    parser.add_argument("--ql", type=float, default=3.0,
+                        help="query length as %% of the space side")
+    parser.add_argument("--spread", type=float, default=2.0,
+                        help="cluster spread as %% of the space side")
+    parser.add_argument("--overfetch", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    points, obstacles = make_dataset("CL", args.scale)
+    queries = clustered_query_workload(random.Random(args.seed), args.queries,
+                                       args.ql, obstacles,
+                                       spread_percent=args.spread)
+    rows = warm_cold_rows(points, obstacles, queries, k=args.k,
+                          overfetch=args.overfetch)
+    title = (f"Warm vs cold obstacle cache — {args.queries} clustered "
+             f"queries (CL/{args.scale}, k={args.k}, ql={args.ql:g}%)")
+    print(format_table(title, "variant", rows, columns=COLUMNS))
+    cold = next(r for r in rows if r.label == "cold")
+    best = min(rows, key=lambda r: r.extra["wall_s"])
+    print()
+    for row in rows:
+        print(f"  {row.label:>14}: {row.extra['wall_s']:.3f} s wall, "
+              f"{row.agg.obstacle_reads:.1f} obstacle reads/query")
+    if best.extra["wall_s"] > 0:
+        print(f"  best variant ({best.label}) is "
+              f"{cold.extra['wall_s'] / best.extra['wall_s']:.2f}x the cold "
+              f"batch")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

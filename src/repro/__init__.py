@@ -2,26 +2,19 @@
 
 A complete, from-scratch reproduction of Gao & Zheng, *Continuous Obstructed
 Nearest Neighbor Queries in Spatial Databases* (SIGMOD 2009): the CONN and
-COkNN query processing algorithms (IOR, CPLC, RLU, control points, the
-quadratic split-point method), the substrates they stand on (a paged R*-tree
-with LRU buffering and best-first traversal, local visibility graphs, exact
-visible-region computation), and the baselines and dataset generators needed
-to regenerate every figure of the paper's evaluation.
+COkNN query processing algorithms, the substrates they stand on (paged
+R*-tree, local visibility graphs, exact visible regions), a
+:class:`~repro.service.Workspace` service layer that amortizes obstacle
+retrieval across query workloads, and the baselines, dataset generators and
+benchmarks needed to regenerate the paper's evaluation.
 
-Quickstart::
+See the repository's ``README.md`` for installation, the full quickstart and
+a map of the package layout.  The two-line version::
 
-    import random
-    from repro import (RStarTree, Rect, Segment, RectObstacle, conn)
+    from repro import Workspace, Segment
 
-    rng = random.Random(0)
-    data = RStarTree()
-    for i in range(100):
-        data.insert_point(i, rng.uniform(0, 100), rng.uniform(0, 100))
-    obstacles = RStarTree()
-    for o in [RectObstacle(40, 40, 60, 60)]:
-        obstacles.insert(o, o.mbr())
-
-    result = conn(data, obstacles, Segment(0, 50, 100, 50))
+    ws = Workspace.from_points(points, obstacles)      # or .from_trees(...)
+    result = ws.conn(Segment(0, 50, 100, 50))
     for owner, (lo, hi) in result.tuples():
         print(f"point {owner} is the obstructed NN on [{lo:.1f}, {hi:.1f}]")
 """
@@ -58,6 +51,13 @@ from .core import (
 )
 from .geometry import IntervalSet, Point, Rect, Segment
 from .index import IncrementalNearest, LRUBuffer, PageTracker, RStarTree
+from .service import (
+    CachedObstacleView,
+    CacheStats,
+    ObstacleCache,
+    QueryService,
+    Workspace,
+)
 from .obstacles import (
     LocalVisibilityGraph,
     Obstacle,
@@ -70,9 +70,11 @@ from .obstacles import (
     visible_region,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CacheStats",
+    "CachedObstacleView",
     "ConnConfig",
     "ConnResult",
     "DEFAULT_CONFIG",
@@ -82,17 +84,20 @@ __all__ = [
     "LRUBuffer",
     "LocalVisibilityGraph",
     "Obstacle",
+    "ObstacleCache",
     "ObstacleSet",
     "PageTracker",
     "PolygonObstacle",
     "PiecewiseDistance",
     "Point",
+    "QueryService",
     "QueryStats",
     "RStarTree",
     "Rect",
     "RectObstacle",
     "Segment",
     "SegmentObstacle",
+    "Workspace",
     "build_unified_tree",
     "cknn_euclidean",
     "cnn_euclidean",

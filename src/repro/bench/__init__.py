@@ -1,12 +1,27 @@
 """Benchmark harness: metrics, workloads, and per-figure experiment drivers."""
 
 from .metrics import AggregateStats, Row, format_table
-from .workloads import query_workload, random_query_segment
+from .warmcold import (
+    run_batch_cold,
+    run_batch_warm,
+    warm_cold_rows,
+    workload_bbox,
+)
+from .workloads import (
+    clustered_query_workload,
+    query_workload,
+    random_query_segment,
+)
 
 __all__ = [
     "AggregateStats",
     "Row",
+    "clustered_query_workload",
     "format_table",
     "query_workload",
     "random_query_segment",
+    "run_batch_cold",
+    "run_batch_warm",
+    "warm_cold_rows",
+    "workload_bbox",
 ]

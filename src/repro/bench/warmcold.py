@@ -1,0 +1,114 @@
+"""Warm-vs-cold service benchmarks: the cross-query obstacle cache at work.
+
+Not a paper figure — the paper evaluates isolated queries.  These drivers
+measure what the service layer adds on top: a batch of correlated queries
+(see :func:`~repro.bench.workloads.clustered_query_workload`) answered
+
+* **cold** — a fresh :class:`~repro.service.Workspace` per query, i.e. the
+  classic free-function path, paying full obstacle retrieval every time;
+* **warm** — one shared workspace, optionally with ``overfetch`` so a miss
+  widens the coverage capsule beyond the round's need;
+* **warm+prefetch** — one shared workspace whose cache is pre-warmed for
+  the workload's bounding region, after which queries inside the region
+  never read the obstacle tree.
+
+All three variants return identical query results (asserted by the test
+suite); only the I/O schedule differs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+from ..core.config import DEFAULT_CONFIG, ConnConfig
+from ..core.stats import QueryStats
+from ..geometry.rectangle import Rect
+from ..geometry.segment import Segment
+from ..service.workspace import Workspace
+from .metrics import AggregateStats, Row
+
+
+def workload_bbox(queries: Sequence[Segment]) -> Rect:
+    """Bounding rectangle of a query batch (the region worth prefetching)."""
+    boxes = [q.bbox() for q in queries]
+    return Rect(min(b[0] for b in boxes), min(b[1] for b in boxes),
+                max(b[2] for b in boxes), max(b[3] for b in boxes))
+
+
+def run_batch_cold(points, obstacles, queries: Sequence[Segment], k: int = 1,
+                   config: ConnConfig = DEFAULT_CONFIG
+                   ) -> Tuple[AggregateStats, float]:
+    """Fresh workspace per query: every query pays full obstacle retrieval.
+
+    Returns:
+        ``(aggregate, wall_seconds)``.
+    """
+    base = Workspace.from_points(points, obstacles, config=config)
+    collected: List[QueryStats] = []
+    started = time.perf_counter()
+    for q in queries:
+        ws = Workspace.from_trees(base.data_tree, base.obstacle_tree,
+                                  config=config)
+        collected.append(ws.coknn(q, k=k).stats)
+    wall = time.perf_counter() - started
+    return AggregateStats.of(collected), wall
+
+
+def run_batch_warm(points, obstacles, queries: Sequence[Segment], k: int = 1,
+                   config: ConnConfig = DEFAULT_CONFIG,
+                   overfetch: float = 1.0, prefetch_margin: float | None = None
+                   ) -> Tuple[AggregateStats, float, Workspace]:
+    """One shared workspace for the whole batch.
+
+    Args:
+        overfetch: cache scan-depth multiplier (1.0 = cold I/O pattern).
+        prefetch_margin: when not ``None``, prefetch the workload's bounding
+            box grown by this margin before the first query.
+
+    Returns:
+        ``(aggregate, wall_seconds, workspace)`` — the workspace is returned
+        so callers can report ``workspace.cache_stats``.
+    """
+    ws = Workspace.from_points(points, obstacles, config=config,
+                               overfetch=overfetch)
+    collected: List[QueryStats] = []
+    started = time.perf_counter()
+    if prefetch_margin is not None:
+        ws.prefetch(workload_bbox(queries), margin=prefetch_margin)
+    for q in queries:
+        collected.append(ws.coknn(q, k=k).stats)
+    wall = time.perf_counter() - started
+    return AggregateStats.of(collected), wall, ws
+
+
+def warm_cold_rows(points, obstacles, queries: Sequence[Segment], k: int = 1,
+                   config: ConnConfig = DEFAULT_CONFIG,
+                   overfetch: float = 2.0,
+                   prefetch_margin: float | None = None) -> List[Row]:
+    """The four variants as table rows (cold / warm / warm xN / +prefetch).
+
+    ``prefetch_margin`` defaults to the longest query's length, a cheap
+    upper-bound proxy for the retrieval radius of well-separated data.
+    """
+    if prefetch_margin is None:
+        prefetch_margin = max(q.length for q in queries)
+    rows: List[Row] = []
+    agg, wall = run_batch_cold(points, obstacles, queries, k, config)
+    rows.append(Row(label="cold", agg=agg, extra={"wall_s": wall}))
+    agg, wall, ws = run_batch_warm(points, obstacles, queries, k, config)
+    rows.append(Row(label="warm", agg=agg,
+                    extra={"wall_s": wall,
+                           "hit_rate": ws.cache_stats.hit_rate}))
+    agg, wall, ws = run_batch_warm(points, obstacles, queries, k, config,
+                                   overfetch=overfetch)
+    rows.append(Row(label=f"warm x{overfetch:g}", agg=agg,
+                    extra={"wall_s": wall,
+                           "hit_rate": ws.cache_stats.hit_rate}))
+    agg, wall, ws = run_batch_warm(points, obstacles, queries, k, config,
+                                   overfetch=overfetch,
+                                   prefetch_margin=prefetch_margin)
+    rows.append(Row(label="warm+prefetch", agg=agg,
+                    extra={"wall_s": wall,
+                           "hit_rate": ws.cache_stats.hit_rate}))
+    return rows

@@ -71,3 +71,45 @@ def query_workload(rng: random.Random, count: int, ql_percent: float,
     grid = ObstacleGrid(obstacles, bounds) if obstacles else None
     return [random_query_segment(rng, ql_percent, grid, bounds)
             for _ in range(count)]
+
+
+def clustered_query_workload(rng: random.Random, count: int,
+                             ql_percent: float,
+                             obstacles: Sequence[Obstacle] = (),
+                             bounds: Bounds = SPACE,
+                             spread_percent: float = 2.0,
+                             max_tries: int = 200) -> List[Segment]:
+    """Correlated queries: jittered copies of one anchor segment.
+
+    Models the service layer's target workload — a moving or repeatedly
+    re-evaluated query (continuous monitoring, trajectory re-planning) whose
+    successive placements land near each other, so their obstacle footprints
+    overlap heavily.  Each query is the anchor translated by up to
+    ``spread_percent`` % of the space side and slightly rotated; placements
+    cutting through an obstacle interior are redrawn.
+    """
+    grid = ObstacleGrid(obstacles, bounds) if obstacles else None
+    anchor = random_query_segment(rng, ql_percent, grid, bounds)
+    xlo, ylo, xhi, yhi = bounds
+    side = min(xhi - xlo, yhi - ylo)
+    spread = side * spread_percent / 100.0
+    length = anchor.length
+    base_theta = math.atan2(anchor.by - anchor.ay, anchor.bx - anchor.ax)
+    out: List[Segment] = []
+    while len(out) < count:
+        seg = anchor
+        for _ in range(max_tries):
+            sx = anchor.ax + rng.uniform(-spread, spread)
+            sy = anchor.ay + rng.uniform(-spread, spread)
+            theta = base_theta + rng.uniform(-0.2, 0.2)
+            ex = sx + length * math.cos(theta)
+            ey = sy + length * math.sin(theta)
+            if not (xlo <= sx <= xhi and ylo <= sy <= yhi and
+                    xlo <= ex <= xhi and ylo <= ey <= yhi):
+                continue
+            cand = Segment(sx, sy, ex, ey)
+            if _segment_clear(cand, grid):
+                seg = cand
+                break
+        out.append(seg)
+    return out

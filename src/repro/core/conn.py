@@ -2,17 +2,21 @@
 
 ``P`` and ``O`` live in separate R*-trees (the paper's default, "2T").  For
 the single-tree variant see :mod:`repro.core.conn_1t`.
+
+Both functions are thin wrappers over a one-shot
+:class:`~repro.service.Workspace`, so they share one implementation with the
+service layer; the cold first query of a workspace and a direct ``conn``
+call are the same code path with the same I/O pattern.  Build a
+:class:`~repro.service.Workspace` yourself when several queries hit the same
+dataset — its obstacle cache amortizes retrieval across them.
 """
 
 from __future__ import annotations
 
 from ..geometry.segment import Segment
 from ..index.rstar import RStarTree
-from ..obstacles.visgraph import LocalVisibilityGraph
 from .config import DEFAULT_CONFIG, ConnConfig
-from .engine import ConnResult, TreeDataSource, run_query
-from .ior import ObstacleRetriever
-from .stats import QueryStats
+from .engine import ConnResult
 
 
 def coknn(data_tree: RStarTree, obstacle_tree: RStarTree, query: Segment,
@@ -34,14 +38,10 @@ def coknn(data_tree: RStarTree, obstacle_tree: RStarTree, query: Segment,
     Returns:
         A :class:`~repro.core.engine.ConnResult`.
     """
-    if query.is_degenerate():
-        raise ValueError("query segment is degenerate; use onn() for points")
-    stats = QueryStats()
-    vg = LocalVisibilityGraph(query)
-    retriever = ObstacleRetriever(obstacle_tree, query, vg, stats)
-    source = TreeDataSource(data_tree, query)
-    return run_query(source, retriever, vg, query, k, config,
-                     (data_tree.tracker, obstacle_tree.tracker), stats)
+    from ..service.workspace import Workspace
+
+    ws = Workspace(data_tree=data_tree, obstacle_tree=obstacle_tree)
+    return ws.coknn(query, k=k, config=config)
 
 
 def conn(data_tree: RStarTree, obstacle_tree: RStarTree, query: Segment,

@@ -21,7 +21,7 @@ from ..index.rstar import RStarTree
 from ..obstacles.obstacle import Obstacle
 from ..obstacles.visgraph import LocalVisibilityGraph
 from .config import DEFAULT_CONFIG, ConnConfig
-from .engine import ConnResult, run_query
+from .engine import ConnResult
 from .stats import QueryStats
 
 
@@ -47,6 +47,15 @@ class UnifiedSource:
         self._pending: List[Tuple[float, int, Any, Tuple[float, float]]] = []
         self._seq = itertools.count()
         self.radius = 0.0
+
+    def _route_obstacle(self, obstacle: Obstacle) -> int:
+        """Insert a de-heaped obstacle into the visibility graph.
+
+        Hook point for caching layers (the service's workspace overrides it
+        to also harvest the obstacle into its cross-query cache).  Returns
+        the number of obstacles actually inserted (0 for duplicates).
+        """
+        return self._vg.add_obstacles([obstacle])
 
     # ------------------------------------------------------------ data feed
     def peek_key(self) -> float:
@@ -75,7 +84,7 @@ class UnifiedSource:
                 return
             d, payload, rect = self._scan.pop()
             if isinstance(payload, Obstacle):
-                self._stats.noe += self._vg.add_obstacles([payload])
+                self._stats.noe += self._route_obstacle(payload)
                 self.radius = max(self.radius, d)
             else:
                 cx, cy = rect.center()
@@ -95,8 +104,9 @@ class UnifiedSource:
                 break
             d, payload, rect = self._scan.pop()
             if isinstance(payload, Obstacle):
-                added += self._vg.add_obstacles([payload])
-                self._stats.noe += 1
+                n = self._route_obstacle(payload)
+                added += n
+                self._stats.noe += n
             else:
                 cx, cy = rect.center()
                 heapq.heappush(self._pending,
@@ -128,14 +138,14 @@ def build_unified_tree(points, obstacles, page_size: int = 4096,
 
 def coknn_single_tree(tree: RStarTree, query: Segment, k: int = 1,
                       config: ConnConfig = DEFAULT_CONFIG) -> ConnResult:
-    """COkNN over a unified tree built by :func:`build_unified_tree`."""
-    if query.is_degenerate():
-        raise ValueError("query segment is degenerate; use onn() for points")
-    stats = QueryStats()
-    vg = LocalVisibilityGraph(query)
-    source = UnifiedSource(tree, query, vg, stats)
-    return run_query(source, source, vg, query, k, config,
-                     (tree.tracker,), stats)
+    """COkNN over a unified tree built by :func:`build_unified_tree`.
+
+    A thin wrapper over a one-shot :class:`~repro.service.Workspace`; build
+    the workspace yourself to amortize obstacle retrieval across queries.
+    """
+    from ..service.workspace import Workspace
+
+    return Workspace(unified_tree=tree).coknn(query, k=k, config=config)
 
 
 def conn_single_tree(tree: RStarTree, query: Segment,

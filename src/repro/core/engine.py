@@ -145,8 +145,22 @@ class ConnResult:
         """The k ``(owner, distance)`` pairs at parameter ``t``, ascending."""
         return [(lv.owner_at(t), lv.value(t)) for lv in self.levels]
 
+    @staticmethod
+    def _owner_on(level: PiecewiseDistance, t: float) -> Any:
+        """Owner of ``level`` at ``t``, normalized: no known path => ``None``."""
+        piece = level.piece_at(t)
+        return piece.owner if piece.cp is not None else None
+
     def knn_intervals(self) -> List[Tuple[Tuple[Any, ...], Tuple[float, float]]]:
-        """Partition of ``q`` into intervals with a constant ordered k-NN set."""
+        """Partition of ``q`` into intervals with a constant ordered k-NN set.
+
+        Owners are normalized the way :meth:`tuples` normalizes them — a
+        level with no known path reports ``None`` — and adjacent intervals
+        merge whenever the ordered owner tuple is unchanged.  An interior
+        boundary of some level (a control-point change, or an unreachable
+        piece changing its recorded loser) therefore never forces a cut
+        unless the k-NN tuple actually changes there.
+        """
         cuts = sorted({0.0, self.qseg.length,
                        *(b for lv in self.levels for b in lv.boundaries())})
         out: List[Tuple[Tuple[Any, ...], Tuple[float, float]]] = []
@@ -154,8 +168,9 @@ class ConnResult:
             if hi - lo <= EPS:
                 continue
             mid = 0.5 * (lo + hi)
-            owners = tuple(lv.owner_at(mid) for lv in self.levels)
-            if out and out[-1][0] == owners and abs(out[-1][1][1] - lo) <= EPS:
+            owners = tuple(self._owner_on(lv, mid) for lv in self.levels)
+            if out and all(a is b or a == b
+                           for a, b in zip(out[-1][0], owners)):
                 out[-1] = (owners, (out[-1][1][0], hi))
             else:
                 out.append((owners, (lo, hi)))

@@ -41,14 +41,40 @@ class ObstacleSource(Protocol):
         ...  # pragma: no cover - protocol
 
 
+class TreeObstacleFetcher:
+    """Stateless fetch backend over an obstacle R*-tree.
+
+    Owns no per-query state: it only knows how to open best-first scans
+    keyed by ``mindist`` to a query segment.  Per-query consumers —
+    :class:`ObstacleRetriever` here, or the cross-query
+    :class:`~repro.service.ObstacleCache` of the service layer — layer their
+    own radius/coverage bookkeeping on top.
+    """
+
+    def __init__(self, obstacle_tree: RStarTree):
+        self.tree = obstacle_tree
+
+    def open_scan(self, qseg: Segment) -> IncrementalNearest:
+        """A fresh incremental scan in ascending ``mindist(entry, qseg)``."""
+        return IncrementalNearest(
+            self.tree,
+            lambda rect: rect.mindist_segment(qseg.ax, qseg.ay,
+                                              qseg.bx, qseg.by))
+
+
 class ObstacleRetriever:
-    """Best-first obstacle feed from a dedicated obstacle R*-tree (2T mode)."""
+    """Best-first obstacle feed from a dedicated obstacle R*-tree (2T mode).
+
+    The per-query view over :class:`TreeObstacleFetcher`: one persistent scan
+    whose retrieval radius only ever grows, feeding the query's local
+    visibility graph.  The cache-aware sibling that shares retrieved
+    obstacles across queries is
+    :class:`repro.service.cache.CachedObstacleView`.
+    """
 
     def __init__(self, obstacle_tree: RStarTree, qseg: Segment,
                  vg: LocalVisibilityGraph, stats: QueryStats):
-        self._scan = IncrementalNearest(
-            obstacle_tree,
-            lambda rect: rect.mindist_segment(qseg.ax, qseg.ay, qseg.bx, qseg.by))
+        self._scan = TreeObstacleFetcher(obstacle_tree).open_scan(qseg)
         self._vg = vg
         self._stats = stats
         self.radius = 0.0

@@ -39,14 +39,20 @@ class _PairwiseOracle:
     One visibility graph anchored at a reference point serves all pair
     evaluations: both endpoints enter as transient nodes, Lemma 3's
     fixpoint retrieves the obstacles the pair needs, and the graph (with
-    its obstacle skeleton) is reused by subsequent pairs.
+    its obstacle skeleton) is reused by subsequent pairs.  When a workspace
+    obstacle cache is supplied, retrieval rounds additionally reuse
+    obstacles fetched by earlier queries over the same dataset.
     """
 
     def __init__(self, obstacle_tree: RStarTree, anchor: Tuple[float, float],
-                 stats: QueryStats):
+                 stats: QueryStats, cache=None):
         seg = Segment(anchor[0], anchor[1], anchor[0], anchor[1])
         self._vg = LocalVisibilityGraph(seg)
-        self._retriever = _AnchoredRetriever(obstacle_tree, self._vg, stats)
+        if cache is not None:
+            self._retriever = cache.view(seg, self._vg, stats)
+        else:
+            self._retriever = _AnchoredRetriever(obstacle_tree, self._vg,
+                                                 stats)
 
     def distance(self, a: Tuple[float, float], b: Tuple[float, float]) -> float:
         node_a = self._vg.add_point(a[0], a[1])
@@ -96,9 +102,15 @@ def _items(tree: RStarTree) -> List[Tuple[Any, Tuple[float, float]]]:
 
 
 def obstructed_e_distance_join(tree_a: RStarTree, tree_b: RStarTree,
-                               obstacle_tree: RStarTree, e: float
+                               obstacle_tree: RStarTree, e: float,
+                               cache=None
                                ) -> Tuple[List[Tuple[Any, Any, float]], QueryStats]:
     """All cross pairs with obstructed distance at most ``e``.
+
+    Args:
+        cache: optional :class:`~repro.service.ObstacleCache` over
+            ``obstacle_tree`` (e.g. a workspace's) to reuse obstacles
+            retrieved by earlier queries.
 
     Returns:
         ``(pairs, stats)`` with pairs as ``(payload_a, payload_b, distance)``
@@ -121,7 +133,7 @@ def obstructed_e_distance_join(tree_a: RStarTree, tree_b: RStarTree,
     out: List[Tuple[float, Any, Any]] = []
     if candidates:
         anchor = candidates[0][0][1]
-        oracle = _PairwiseOracle(obstacle_tree, anchor, stats)
+        oracle = _PairwiseOracle(obstacle_tree, anchor, stats, cache=cache)
         for (pa, xa), (pb, xb) in candidates:
             stats.npe += 1
             d = oracle.distance(xa, xb)
@@ -133,7 +145,7 @@ def obstructed_e_distance_join(tree_a: RStarTree, tree_b: RStarTree,
 
 
 def obstructed_closest_pair(tree_a: RStarTree, tree_b: RStarTree,
-                            obstacle_tree: RStarTree
+                            obstacle_tree: RStarTree, cache=None
                             ) -> Tuple[Tuple[Any, Any, float] | None, QueryStats]:
     """The cross-set pair with the smallest obstructed distance.
 
@@ -151,7 +163,7 @@ def obstructed_closest_pair(tree_a: RStarTree, tree_b: RStarTree,
     for i, (_pa, xa) in enumerate(items_a):
         for j, (_pb, xb) in enumerate(items_b):
             heapq.heappush(heap, (math.dist(xa, xb), next(counter), i, j))
-    oracle = _PairwiseOracle(obstacle_tree, items_a[0][1], stats)
+    oracle = _PairwiseOracle(obstacle_tree, items_a[0][1], stats, cache=cache)
     best: Tuple[float, Any, Any] | None = None
     while heap:
         lower, _c, i, j = heapq.heappop(heap)
@@ -168,7 +180,7 @@ def obstructed_closest_pair(tree_a: RStarTree, tree_b: RStarTree,
 
 
 def obstructed_semi_join(tree_a: RStarTree, tree_b: RStarTree,
-                         obstacle_tree: RStarTree
+                         obstacle_tree: RStarTree, cache=None
                          ) -> Tuple[List[Tuple[Any, Any, float]], QueryStats]:
     """For each point of ``tree_a``: its obstructed NN in ``tree_b``.
 
@@ -181,7 +193,7 @@ def obstructed_semi_join(tree_a: RStarTree, tree_b: RStarTree,
     rows: List[Tuple[Any, Any, float]] = []
     if not items_a:
         return rows, stats
-    oracle = _PairwiseOracle(obstacle_tree, items_a[0][1], stats)
+    oracle = _PairwiseOracle(obstacle_tree, items_a[0][1], stats, cache=cache)
     for pa, xa in items_a:
         scan = IncrementalNearest(
             tree_b, lambda rect: rect.mindist_point(xa[0], xa[1]))

@@ -7,6 +7,12 @@ candidate's exact obstructed distance on an incrementally grown local
 visibility graph, terminating once the next candidate's Euclidean distance
 exceeds the current k-th best obstructed distance.
 
+The scan loop is factored into :func:`run_onn_scan`, parameterized over the
+candidate feed and the obstacle source, so the free function (cold, plain
+:class:`~repro.core.ior.ObstacleRetriever`) and the service layer
+(:class:`~repro.service.QueryService`, cache-backed) share one
+implementation.
+
 Also exposes :func:`obstructed_distance_indexed` — pairwise obstructed
 distance against an obstacle R*-tree without touching the full obstacle set
 (Lemma 3's retrieval bound applied to a point pair).
@@ -17,19 +23,20 @@ from __future__ import annotations
 import bisect
 import math
 import time
-from typing import Any, List, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from ..geometry.predicates import EPS
 from ..geometry.segment import Segment
 from ..index.nearest import IncrementalNearest
+from ..index.pagestore import PageTracker
 from ..index.rstar import RStarTree
 from ..obstacles.visgraph import LocalVisibilityGraph
 from .config import DEFAULT_CONFIG, ConnConfig
-from .ior import ObstacleRetriever
+from .ior import ObstacleRetriever, ObstacleSource
 from .stats import QueryStats
 
 
-def _stable_distance(vg: LocalVisibilityGraph, retriever: ObstacleRetriever,
+def _stable_distance(vg: LocalVisibilityGraph, retriever: ObstacleSource,
                      source_node: int, target_node: int) -> float:
     """Shortest-path length valid under Lemma 3's retrieval criterion.
 
@@ -48,37 +55,52 @@ def _stable_distance(vg: LocalVisibilityGraph, retriever: ObstacleRetriever,
             return d
 
 
-def onn(data_tree: RStarTree, obstacle_tree: RStarTree,
-        x: float, y: float, k: int = 1,
-        config: ConnConfig = DEFAULT_CONFIG) -> Tuple[List[Tuple[Any, float]], QueryStats]:
-    """The ``k`` obstructed nearest neighbors of point ``(x, y)``.
+class PointScan:
+    """Candidate feed in ascending Euclidean distance to a query point.
+
+    Adapts :class:`~repro.index.nearest.IncrementalNearest` to the engine's
+    ``DataSource`` protocol (``pop`` yields centers, not rects).
+    """
+
+    def __init__(self, data_tree: RStarTree, x: float, y: float):
+        self._scan = IncrementalNearest(
+            data_tree, lambda rect: rect.mindist_point(x, y))
+
+    def peek_key(self) -> float:
+        return self._scan.peek_key()
+
+    def pop(self) -> Tuple[float, Any, Tuple[float, float]]:
+        d, payload, rect = self._scan.pop()
+        cx, cy = rect.center()
+        return d, payload, (cx, cy)
+
+
+def run_onn_scan(source, retriever: ObstacleSource,
+                 vg: LocalVisibilityGraph, k: int, config: ConnConfig,
+                 stats: QueryStats,
+                 trackers: Sequence[PageTracker]) -> List[Tuple[Any, float]]:
+    """Drive an ONN scan to completion over pluggable sources.
+
+    Args:
+        source: candidate feed (``peek_key``/``pop``) in ascending Euclidean
+            distance to the anchor point ``vg.S``.
+        retriever: obstacle source implementing ``ensure``/``radius``.
 
     Returns:
-        ``(neighbors, stats)`` where neighbors is a list of
-        ``(payload, obstructed_distance)`` in ascending distance order
-        (fewer than ``k`` when the data set is small or sealed off).
+        Up to ``k`` ``(payload, obstructed_distance)`` pairs, ascending.
     """
-    if k < 1:
-        raise ValueError("k must be at least 1")
-    stats = QueryStats()
-    snapshots = [(t, t.stats.snapshot())
-                 for t in (data_tree.tracker, obstacle_tree.tracker)]
+    snapshots = [(t, t.stats.snapshot()) for t in trackers]
     started = time.perf_counter()
-    anchor = Segment(x, y, x, y)
-    vg = LocalVisibilityGraph(anchor)
-    retriever = ObstacleRetriever(obstacle_tree, anchor, vg, stats)
-    scan = IncrementalNearest(data_tree, lambda rect: rect.mindist_point(x, y))
     best: List[Tuple[float, Any]] = []
     while True:
-        key = scan.peek_key()
+        key = source.peek_key()
         kth = best[k - 1][0] if len(best) >= k else math.inf
         if config.use_rlmax and key > kth + EPS:
             break
         if math.isinf(key):
             break
-        _d, payload, rect = scan.pop()
+        _d, payload, (cx, cy) = source.pop()
         stats.npe += 1
-        cx, cy = rect.center()
         node = vg.add_point(cx, cy)
         try:
             odist = _stable_distance(vg, retriever, node, vg.S)
@@ -93,7 +115,29 @@ def onn(data_tree: RStarTree, obstacle_tree: RStarTree,
         delta = tracker.stats.delta(snap)
         stats.io.logical_reads += delta.logical_reads
         stats.io.page_faults += delta.page_faults
-    return [(payload, d) for d, payload in best[:k]], stats
+    return [(payload, d) for d, payload in best[:k]]
+
+
+def onn(data_tree: RStarTree, obstacle_tree: RStarTree,
+        x: float, y: float, k: int = 1,
+        config: ConnConfig = DEFAULT_CONFIG) -> Tuple[List[Tuple[Any, float]], QueryStats]:
+    """The ``k`` obstructed nearest neighbors of point ``(x, y)``.
+
+    Returns:
+        ``(neighbors, stats)`` where neighbors is a list of
+        ``(payload, obstructed_distance)`` in ascending distance order
+        (fewer than ``k`` when the data set is small or sealed off).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    stats = QueryStats()
+    anchor = Segment(x, y, x, y)
+    vg = LocalVisibilityGraph(anchor)
+    retriever = ObstacleRetriever(obstacle_tree, anchor, vg, stats)
+    neighbors = run_onn_scan(PointScan(data_tree, x, y), retriever, vg, k,
+                             config, stats,
+                             (data_tree.tracker, obstacle_tree.tracker))
+    return neighbors, stats
 
 
 def obstructed_distance_indexed(a: Tuple[float, float], b: Tuple[float, float],

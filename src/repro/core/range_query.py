@@ -7,51 +7,47 @@ obstructed distance, so a best-first scan of the data R*-tree can stop as
 soon as the next candidate's Euclidean mindist exceeds ``radius``; each
 surviving candidate's exact obstructed distance is computed on the shared
 local visibility graph with Lemma 3's retrieval bound.
+
+Like :mod:`repro.core.onn`, the scan loop (:func:`run_range_scan`) is
+parameterized over the candidate feed and obstacle source so the service
+layer can run it against a cross-query obstacle cache.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from typing import Any, List, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from ..geometry.predicates import EPS
 from ..geometry.segment import Segment
-from ..index.nearest import IncrementalNearest
+from ..index.pagestore import PageTracker
 from ..index.rstar import RStarTree
 from ..obstacles.visgraph import LocalVisibilityGraph
-from .ior import ObstacleRetriever
-from .onn import _stable_distance
+from .ior import ObstacleRetriever, ObstacleSource
+from .onn import PointScan, _stable_distance
 from .stats import QueryStats
 
 
-def obstructed_range(data_tree: RStarTree, obstacle_tree: RStarTree,
-                     x: float, y: float, radius: float
-                     ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
-    """All points within obstructed distance ``radius`` of ``(x, y)``.
+def run_range_scan(source, retriever: ObstacleSource,
+                   vg: LocalVisibilityGraph, radius: float,
+                   stats: QueryStats,
+                   trackers: Sequence[PageTracker]) -> List[Tuple[Any, float]]:
+    """Drive an obstructed range scan over pluggable sources.
 
     Returns:
-        ``(matches, stats)`` with matches as ``(payload, obstructed_distance)``
-        pairs in ascending distance order.
+        ``(payload, obstructed_distance)`` pairs within ``radius``,
+        ascending by distance.
     """
-    if radius < 0:
-        raise ValueError("radius must be non-negative")
-    stats = QueryStats()
-    snapshots = [(t, t.stats.snapshot())
-                 for t in (data_tree.tracker, obstacle_tree.tracker)]
+    snapshots = [(t, t.stats.snapshot()) for t in trackers]
     started = time.perf_counter()
-    anchor = Segment(x, y, x, y)
-    vg = LocalVisibilityGraph(anchor)
-    retriever = ObstacleRetriever(obstacle_tree, anchor, vg, stats)
-    scan = IncrementalNearest(data_tree, lambda rect: rect.mindist_point(x, y))
     matches: List[Tuple[float, Any]] = []
     while True:
-        key = scan.peek_key()
+        key = source.peek_key()
         if math.isinf(key) or key > radius + EPS:
             break
-        _d, payload, rect = scan.pop()
+        _d, payload, (cx, cy) = source.pop()
         stats.npe += 1
-        cx, cy = rect.center()
         node = vg.add_point(cx, cy)
         try:
             odist = _stable_distance(vg, retriever, node, vg.S)
@@ -67,4 +63,25 @@ def obstructed_range(data_tree: RStarTree, obstacle_tree: RStarTree,
         delta = tracker.stats.delta(snap)
         stats.io.logical_reads += delta.logical_reads
         stats.io.page_faults += delta.page_faults
-    return [(payload, d) for d, payload in matches], stats
+    return [(payload, d) for d, payload in matches]
+
+
+def obstructed_range(data_tree: RStarTree, obstacle_tree: RStarTree,
+                     x: float, y: float, radius: float
+                     ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
+    """All points within obstructed distance ``radius`` of ``(x, y)``.
+
+    Returns:
+        ``(matches, stats)`` with matches as ``(payload, obstructed_distance)``
+        pairs in ascending distance order.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    stats = QueryStats()
+    anchor = Segment(x, y, x, y)
+    vg = LocalVisibilityGraph(anchor)
+    retriever = ObstacleRetriever(obstacle_tree, anchor, vg, stats)
+    matches = run_range_scan(PointScan(data_tree, x, y), retriever, vg,
+                             radius, stats,
+                             (data_tree.tracker, obstacle_tree.tracker))
+    return matches, stats

@@ -54,6 +54,23 @@ class QueryStats:
     visibility_tests: int = 0
     """Sight-line tests performed by the visibility graph."""
 
+    cache_hits: int = 0
+    """Retrieval rounds served entirely from the workspace obstacle cache."""
+
+    cache_misses: int = 0
+    """Retrieval rounds that had to scan the obstacle index."""
+
+    cache_served: int = 0
+    """Obstacles delivered to the visibility graph from cache (no index I/O)."""
+
+    obstacle_reads: int = 0
+    """Logical page reads charged to the obstacle index by this query.
+
+    Filled by the service layer (``QueryService``); for the single-tree
+    layout this is the unified tree's reads, since data and obstacle pages
+    are not separable there.
+    """
+
     @property
     def io_time_ms(self) -> float:
         """Charged I/O time (10 ms per page fault, as in the paper)."""
@@ -83,3 +100,7 @@ class QueryStats:
         self.lemma7_cutoffs += other.lemma7_cutoffs
         self.coverage_rounds += other.coverage_rounds
         self.visibility_tests += other.visibility_tests
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_served += other.cache_served
+        self.obstacle_reads += other.obstacle_reads

@@ -3,9 +3,12 @@
 A *trajectory* is a polyline of consecutive line segments.  A trajectory
 CONN query retrieves the obstructed (k-)nearest neighbors of every point
 along the whole polyline.  Each leg is answered by the standard COkNN engine
-(sharing nothing across legs keeps each leg's pruning radii tight); results
-are stitched into one answer addressed by *global* arc length from the
-trajectory's start.
+with its own local visibility graph (keeping each leg's pruning radii
+tight), but all legs run through one :class:`~repro.service.Workspace`, so
+adjacent legs — whose obstacle footprints overlap around the shared
+waypoint — draw already-retrieved obstacles from the workspace cache instead
+of re-reading the obstacle tree.  Results are stitched into one answer
+addressed by *global* arc length from the trajectory's start.
 """
 
 from __future__ import annotations
@@ -13,10 +16,8 @@ from __future__ import annotations
 from typing import Any, List, Sequence, Tuple
 
 from ..geometry.predicates import EPS
-from ..geometry.segment import Segment
 from ..index.rstar import RStarTree
 from .config import DEFAULT_CONFIG, ConnConfig
-from .conn import coknn
 from .engine import ConnResult
 from .stats import QueryStats
 
@@ -98,17 +99,10 @@ def trajectory_coknn(data_tree: RStarTree, obstacle_tree: RStarTree,
         waypoints: at least two vertices of the polyline; zero-length legs
             are skipped.
     """
-    if len(waypoints) < 2:
-        raise ValueError("a trajectory needs at least two waypoints")
-    legs: List[ConnResult] = []
-    for (ax, ay), (bx, by) in zip(waypoints, waypoints[1:]):
-        seg = Segment(float(ax), float(ay), float(bx), float(by))
-        if seg.is_degenerate():
-            continue
-        legs.append(coknn(data_tree, obstacle_tree, seg, k=k, config=config))
-    if not legs:
-        raise ValueError("trajectory has no leg of positive length")
-    return TrajectoryResult(waypoints, legs, k)
+    from ..service.workspace import Workspace
+
+    ws = Workspace(data_tree=data_tree, obstacle_tree=obstacle_tree)
+    return ws.trajectory(waypoints, k=k, config=config)
 
 
 def trajectory_conn(data_tree: RStarTree, obstacle_tree: RStarTree,

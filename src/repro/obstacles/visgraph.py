@@ -46,11 +46,21 @@ from .shadow import shadow_set, visible_region
 
 
 class LocalVisibilityGraph:
-    """An incrementally grown visibility graph tied to one query segment."""
+    """An incrementally grown visibility graph tied to one query segment.
 
-    def __init__(self, qseg: Segment):
+    Args:
+        qseg: the query segment the graph is anchored to.
+        obstacles: optional already-retrieved obstacle skeleton to seed the
+            graph with (e.g. from a :class:`~repro.service.ObstacleCache`);
+            equivalent to calling :meth:`add_obstacles` right after
+            construction.
+    """
+
+    def __init__(self, qseg: Segment,
+                 obstacles: Optional[Iterable[Obstacle]] = None):
         self.qseg = qseg
         self.obstacles = ObstacleSet()
+        self._obstacle_keys: Set[Obstacle] = set()
         self._xy: List[Tuple[float, float]] = []
         self._alive: List[bool] = []
         self._transient: List[bool] = []
@@ -66,6 +76,8 @@ class LocalVisibilityGraph:
         self.visibility_tests = 0
         self.S = self._new_node(qseg.ax, qseg.ay, transient=False)
         self.E = self._new_node(qseg.bx, qseg.by, transient=False)
+        if obstacles is not None:
+            self.add_obstacles(obstacles)
 
     # ---------------------------------------------------------------- nodes
     def _new_node(self, x: float, y: float, transient: bool) -> int:
@@ -125,12 +137,16 @@ class LocalVisibilityGraph:
         insertion costs nothing for the (typically large) majority of rows
         no later traversal touches again.
 
+        Obstacles already present are skipped, so caching layers may re-offer
+        a mixed batch freely without double-inserting vertices.
+
         Returns:
-            Number of obstacles inserted.
+            Number of obstacles actually inserted (duplicates excluded).
         """
-        batch = list(batch)
+        batch = [o for o in batch if o not in self._obstacle_keys]
         if not batch:
             return 0
+        self._obstacle_keys.update(batch)
         self.obstacles.add_many(batch)
         for o in batch:
             for vx, vy in o.vertices():

@@ -1,0 +1,29 @@
+"""Query service layer: cross-query obstacle caching behind a facade.
+
+The core algorithms (:mod:`repro.core`) answer one query at a time, paying
+incremental obstacle retrieval (IOR) from zero on every call.  This package
+amortizes that cost across a workload:
+
+* :class:`Workspace` — owns one dataset's indexes (2T or 1T) plus a
+  per-dataset :class:`ObstacleCache`, warmable via ``prefetch``;
+* :class:`QueryService` — ``conn`` / ``coknn`` / ``onn`` / ``range`` /
+  ``batch`` / ``trajectory`` / join entry points that serve obstacle
+  retrieval rounds from the cache whenever its coverage bookkeeping proves
+  the cached set complete for the requested footprint;
+* :class:`CachedObstacleView` — the per-query obstacle feed, a drop-in
+  sibling of :class:`repro.core.ior.ObstacleRetriever`.
+
+The free functions ``repro.conn`` / ``repro.coknn`` / ... are thin wrappers
+over a one-shot workspace, so the cold path and the classic API coincide.
+"""
+
+from .cache import CachedObstacleView, CacheStats, ObstacleCache
+from .workspace import QueryService, Workspace
+
+__all__ = [
+    "CachedObstacleView",
+    "CacheStats",
+    "ObstacleCache",
+    "QueryService",
+    "Workspace",
+]

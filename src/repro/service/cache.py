@@ -1,0 +1,341 @@
+"""Cross-query obstacle caching: the heart of the service layer.
+
+IOR (Algorithm 1) retrieves obstacles per query, so a workload of many
+correlated queries over one dataset — continuous/moving queries, trajectory
+legs, batches — pays the same obstacle-tree I/O over and over.
+:class:`ObstacleCache` amortizes it across queries: every obstacle ever
+pulled from the tree is kept, together with *coverage capsules* recording
+which regions of the plane have been exhaustively fetched, and later
+retrieval rounds whose footprint provably falls inside a recorded capsule
+are served entirely from memory.
+
+Soundness of the coverage test.  A capsule ``(spine s, radius r)`` asserts
+"every obstacle of the dataset whose MBR lies within mindist ``r`` of ``s``
+is cached".  A request ``(q, r')`` (all obstacles within ``r'`` of segment
+``q``) is contained in that capsule when::
+
+    max(dist(q.start, s), dist(q.end, s)) + r' <= r
+
+because ``dist(., s)`` is convex along ``q``, so the endpoint maximum bounds
+``dist(x, s)`` for every ``x`` within ``r'`` of ``q``.  When no capsule
+contains the request, the per-query view falls back to a best-first tree
+scan — exactly the cold path of :class:`~repro.core.ior.ObstacleRetriever` —
+and the scanned footprint becomes a new capsule.
+
+With ``overfetch > 1`` a miss scans ``overfetch`` times deeper than the
+round needs; the extra obstacles enter the cache only (never the current
+query's visibility graph, keeping per-query results and NOE bit-identical
+to the cold algorithm), so nearby follow-up queries land inside the wider
+capsule.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Sequence, Set, Tuple
+
+from ..core.ior import TreeObstacleFetcher
+from ..core.stats import QueryStats
+from ..geometry.predicates import EPS
+from ..geometry.rectangle import Rect
+from ..geometry.segment import Segment
+from ..index.rstar import RStarTree
+from ..obstacles.obstacle import Obstacle
+from ..obstacles.visgraph import LocalVisibilityGraph
+
+_Capsule = Tuple[float, float, float, float, float]
+"""``(ax, ay, bx, by, radius)`` — all obstacles within radius of the spine."""
+
+
+def _capsule_contains(cap: _Capsule, qseg: Segment, radius: float) -> bool:
+    """Does ``cap`` contain the capsule of radius ``radius`` around ``qseg``?"""
+    ax, ay, bx, by, r = cap
+    spine = Segment(ax, ay, bx, by)
+    da = spine.dist_point(qseg.ax, qseg.ay)
+    db = spine.dist_point(qseg.bx, qseg.by)
+    return max(da, db) + radius <= r + EPS
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters for one :class:`ObstacleCache` (all queries)."""
+
+    hits: int = 0
+    """Retrieval rounds served without touching the obstacle tree."""
+
+    misses: int = 0
+    """Retrieval rounds that had to scan the obstacle tree."""
+
+    served: int = 0
+    """Obstacles handed to visibility graphs straight from the cache."""
+
+    fetched: int = 0
+    """Entries popped from the obstacle tree (including re-pops of cached ones)."""
+
+    inserted: int = 0
+    """Distinct obstacles resident in the cache."""
+
+    prefetch_calls: int = 0
+    """Number of :meth:`ObstacleCache.prefetch`-family invocations."""
+
+    prefetched: int = 0
+    """Obstacles loaded into the cache by prefetching."""
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of retrieval rounds served from cache (0 when none ran)."""
+        rounds = self.hits + self.misses
+        return self.hits / rounds if rounds else 0.0
+
+
+class ObstacleCache:
+    """A per-dataset obstacle cache shared by every query of a workspace.
+
+    Args:
+        obstacle_tree: the obstacle R*-tree (2T) or the unified tree (1T —
+            non-:class:`~repro.obstacles.obstacle.Obstacle` payloads are
+            ignored when fetching).
+        overfetch: miss-path scan depth multiplier (``>= 1``).  ``1.0``
+            reproduces the cold algorithm's I/O exactly; larger values trade
+            a deeper first scan for wider coverage capsules that turn nearby
+            follow-up queries into pure cache hits.
+        max_capsules: coverage-region bookkeeping bound; oldest capsules are
+            evicted first (their obstacles stay cached — only the *proof of
+            exhaustiveness* is dropped).
+    """
+
+    def __init__(self, obstacle_tree: RStarTree, overfetch: float = 1.0,
+                 max_capsules: int = 128):
+        if overfetch < 1.0:
+            raise ValueError("overfetch must be >= 1")
+        self.tree = obstacle_tree
+        self.fetcher = TreeObstacleFetcher(obstacle_tree)
+        self.overfetch = float(overfetch)
+        self.stats = CacheStats()
+        self.epoch = 0
+        """Bumped on every insertion; views use it to refresh rankings."""
+        self._seen: Set[Obstacle] = set()
+        self._obstacles: List[Obstacle] = []
+        self._mbrs: List[Rect] = []
+        self._capsules: List[_Capsule] = []
+        self._max_capsules = max_capsules
+        self._ranked_memo = None  # (qseg key, epoch, ranked list)
+
+    # ------------------------------------------------------------ population
+    def add(self, obstacle: Obstacle) -> bool:
+        """Insert one obstacle; returns False when it was already cached."""
+        if obstacle in self._seen:
+            return False
+        self._seen.add(obstacle)
+        self._obstacles.append(obstacle)
+        self._mbrs.append(obstacle.mbr())
+        self.stats.inserted += 1
+        self.epoch += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._obstacles)
+
+    @property
+    def obstacles(self) -> Sequence[Obstacle]:
+        """Every obstacle currently resident in the cache."""
+        return self._obstacles
+
+    # -------------------------------------------------------------- coverage
+    def covered(self, qseg: Segment, radius: float) -> bool:
+        """True when every obstacle within ``radius`` of ``qseg`` is cached."""
+        return any(_capsule_contains(cap, qseg, radius)
+                   for cap in self._capsules)
+
+    def record_coverage(self, qseg: Segment, radius: float) -> None:
+        """Register that ``(qseg, radius)`` has been exhaustively fetched."""
+        if radius <= 0.0:
+            return
+        new: _Capsule = (qseg.ax, qseg.ay, qseg.bx, qseg.by, float(radius))
+        kept = [cap for cap in self._capsules
+                if not _capsule_contains(new, Segment(*cap[:4]), cap[4])]
+        if not any(_capsule_contains(cap, qseg, radius) for cap in kept):
+            kept.append(new)
+        self._capsules = kept[-self._max_capsules:]
+
+    @property
+    def coverage_regions(self) -> int:
+        """Number of coverage capsules currently recorded."""
+        return len(self._capsules)
+
+    # --------------------------------------------------------------- serving
+    def ranked(self, qseg: Segment) -> List[Tuple[float, Obstacle]]:
+        """Cached obstacles keyed by ``mindist(MBR, qseg)``, ascending.
+
+        The key function matches the tree scan's exactly (both evaluate
+        ``Rect.mindist_segment`` on the obstacle's MBR), so a cache-served
+        round admits precisely the obstacles a tree scan would have.  The
+        last ranking is memoized, so a run of queries over one segment —
+        the repeated-query workload the cache targets — ranks once, not
+        once per view.
+        """
+        ax, ay, bx, by = qseg.ax, qseg.ay, qseg.bx, qseg.by
+        key = (ax, ay, bx, by)
+        memo = self._ranked_memo
+        if memo is not None and memo[0] == key and memo[1] == self.epoch:
+            return memo[2]
+        out = [(mbr.mindist_segment(ax, ay, bx, by), i)
+               for i, mbr in enumerate(self._mbrs)]
+        out.sort()
+        ranked = [(d, self._obstacles[i]) for d, i in out]
+        self._ranked_memo = (key, self.epoch, ranked)
+        return ranked
+
+    def view(self, qseg: Segment, vg: LocalVisibilityGraph,
+             stats: QueryStats) -> "CachedObstacleView":
+        """Open a per-query obstacle feed over this cache."""
+        return CachedObstacleView(self, qseg, vg, stats)
+
+    # ------------------------------------------------------------ prefetching
+    def prefetch_segment(self, qseg: Segment, radius: float) -> int:
+        """Warm the cache with every obstacle within ``radius`` of ``qseg``.
+
+        Returns:
+            Number of obstacles newly inserted.
+        """
+        self.stats.prefetch_calls += 1
+        scan = self.fetcher.open_scan(qseg)
+        added = 0
+        while True:
+            key = scan.peek_key()
+            if math.isinf(key) or key > radius:
+                break
+            _d, payload, _rect = scan.pop()
+            self.stats.fetched += 1
+            if isinstance(payload, Obstacle) and self.add(payload):
+                added += 1
+        self.record_coverage(qseg, radius)
+        self.stats.prefetched += added
+        return added
+
+    def prefetch(self, rect: Rect, margin: float = 0.0) -> int:
+        """Warm the cache for a rectangular region of interest.
+
+        The rectangle (grown by ``margin`` on every side) is covered by a
+        capsule spined along its longer axis, so any later query whose
+        retrieval footprint stays inside the capsule never touches the
+        obstacle tree.
+
+        Returns:
+            Number of obstacles newly inserted.
+        """
+        xlo, ylo, xhi, yhi = (rect.xlo - margin, rect.ylo - margin,
+                              rect.xhi + margin, rect.yhi + margin)
+        if xhi - xlo >= yhi - ylo:
+            yc = 0.5 * (ylo + yhi)
+            spine = Segment(xlo, yc, xhi, yc)
+            radius = 0.5 * (yhi - ylo)
+        else:
+            xc = 0.5 * (xlo + xhi)
+            spine = Segment(xc, ylo, xc, yhi)
+            radius = 0.5 * (xhi - xlo)
+        return self.prefetch_segment(spine, radius)
+
+    def prefetch_all(self) -> int:
+        """Drain the whole obstacle tree into the cache.
+
+        Records an infinite coverage capsule, after which *no* query of the
+        workspace ever reads the obstacle tree again.
+        """
+        return self.prefetch_segment(Segment(0.0, 0.0, 0.0, 0.0), math.inf)
+
+
+class CachedObstacleView:
+    """Per-query obstacle feed over a shared :class:`ObstacleCache`.
+
+    Implements the :class:`~repro.core.ior.ObstacleSource` protocol
+    (``radius`` + ``ensure``), so it plugs into ``ior_fixpoint`` and the
+    engine's coverage validation exactly like the cold
+    :class:`~repro.core.ior.ObstacleRetriever`.  Each ``ensure`` round is
+    served from the cache when a coverage capsule contains it, and from a
+    lazily opened persistent tree scan otherwise.
+    """
+
+    def __init__(self, cache: ObstacleCache, qseg: Segment,
+                 vg: LocalVisibilityGraph, stats: QueryStats):
+        self._cache = cache
+        self._qseg = qseg
+        self._vg = vg
+        self._stats = stats
+        self.radius = 0.0
+        self._scan = None
+        self._ranked: List[Tuple[float, Obstacle]] = []
+        self._cursor = 0
+        self._epoch = -1
+        # Overfetched pops (mindist beyond the round's radius), ascending:
+        # cached only, still owed to the graph once the radius reaches them.
+        self._overflow: Deque[Tuple[float, Obstacle]] = deque()
+
+    def _refresh_ranked(self) -> None:
+        """Re-rank cached obstacles if the cache grew since the last hit.
+
+        Entries at or below the already-ensured radius are skipped: the
+        ``ensure`` invariant guarantees they are in the graph (and the graph
+        deduplicates regardless).  ``radius == 0`` means no round ran yet —
+        nothing may be skipped then, or obstacles touching the query segment
+        (``mindist == 0``) would never be served.
+        """
+        if self._epoch == self._cache.epoch:
+            return
+        self._ranked = self._cache.ranked(self._qseg)
+        self._epoch = self._cache.epoch
+        self._cursor = 0
+        if self.radius > 0.0:
+            while (self._cursor < len(self._ranked) and
+                   self._ranked[self._cursor][0] <= self.radius):
+                self._cursor += 1
+
+    def ensure(self, radius: float) -> int:
+        """Grow coverage to ``radius``; return number of obstacles added."""
+        if radius <= self.radius:
+            return 0
+        cache = self._cache
+        if cache.covered(self._qseg, radius):
+            self._stats.cache_hits += 1
+            cache.stats.hits += 1
+            self._refresh_ranked()
+            batch: List[Obstacle] = []
+            while (self._cursor < len(self._ranked) and
+                   self._ranked[self._cursor][0] <= radius):
+                batch.append(self._ranked[self._cursor][1])
+                self._cursor += 1
+            added = self._vg.add_obstacles(batch)
+            self._stats.cache_served += added
+            cache.stats.served += added
+        else:
+            self._stats.cache_misses += 1
+            cache.stats.misses += 1
+            if self._scan is None:
+                self._scan = cache.fetcher.open_scan(self._qseg)
+            deep = radius if math.isinf(radius) else radius * cache.overfetch
+            batch = []
+            # Overfetched pops from earlier rounds now inside the radius are
+            # owed to the graph first: the scan has moved past them, so they
+            # would otherwise never be inserted.  (Hit rounds serve them via
+            # the ranked cache instead.)
+            while self._overflow and self._overflow[0][0] <= radius:
+                batch.append(self._overflow.popleft()[1])
+            while True:
+                key = self._scan.peek_key()
+                if math.isinf(key) or key > deep:
+                    break
+                d, payload, _rect = self._scan.pop()
+                cache.stats.fetched += 1
+                if isinstance(payload, Obstacle):
+                    cache.add(payload)
+                    if d <= radius:
+                        batch.append(payload)
+                    else:
+                        self._overflow.append((d, payload))
+            added = self._vg.add_obstacles(batch)
+            cache.record_coverage(self._qseg, deep)
+        self._stats.noe += added
+        self.radius = radius
+        return added

@@ -1,0 +1,360 @@
+"""The :class:`Workspace` facade and :class:`QueryService`.
+
+A workspace owns the indexes of one dataset — the 2T layout's separate data
+and obstacle R*-trees, or the 1T unified tree — plus a per-dataset
+:class:`~repro.service.cache.ObstacleCache`, and hands out a
+:class:`QueryService` whose entry points (``conn``, ``coknn``, ``onn``,
+``range``, ``batch``, ``trajectory``, and the obstructed joins) reuse cached
+obstacles instead of re-running incremental obstacle retrieval from zero.
+
+The free functions of :mod:`repro.core` (``conn``, ``coknn``,
+``conn_single_tree``, ``trajectory_conn``, ...) are thin wrappers over a
+one-shot workspace, so their behavior — results *and* I/O pattern — is the
+cold path of the same machinery.  Build a workspace yourself whenever more
+than one query hits the same dataset::
+
+    ws = Workspace.from_trees(data_tree, obstacle_tree)
+    ws.prefetch(region_of_interest, margin=50.0)   # optional warm-up
+    results = ws.batch(queries, k=3)
+    print(ws.cache_stats.hit_rate, results[0].stats.obstacle_reads)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.config import DEFAULT_CONFIG, ConnConfig
+from ..core.conn_1t import UnifiedSource, build_unified_tree
+from ..core.engine import ConnResult, TreeDataSource, run_query
+from ..core.joins import (
+    obstructed_closest_pair,
+    obstructed_e_distance_join,
+    obstructed_semi_join,
+)
+from ..core.onn import PointScan, run_onn_scan
+from ..core.range_query import run_range_scan
+from ..core.stats import QueryStats
+from ..core.trajectory import TrajectoryResult
+from ..geometry.rectangle import Rect
+from ..geometry.segment import Segment
+from ..index.rstar import RStarTree
+from ..obstacles.obstacle import Obstacle
+from ..obstacles.visgraph import LocalVisibilityGraph
+from .cache import CacheStats, ObstacleCache
+
+
+class _CachingUnifiedSource(UnifiedSource):
+    """1T source that harvests de-heaped obstacles into the workspace cache.
+
+    The unified scan must traverse the tree for data points regardless, so
+    the cache cannot skip 1T page reads; harvesting still makes the
+    obstacles available to prefetch inspection and to any 2T-style consumers
+    sharing the cache.
+    """
+
+    def __init__(self, tree: RStarTree, qseg: Segment,
+                 vg: LocalVisibilityGraph, stats: QueryStats,
+                 cache: ObstacleCache):
+        super().__init__(tree, qseg, vg, stats)
+        self._cache = cache
+
+    def _route_obstacle(self, obstacle: Obstacle) -> int:
+        self._cache.add(obstacle)
+        return super()._route_obstacle(obstacle)
+
+
+class Workspace:
+    """Shared state for answering many queries over one dataset.
+
+    Args:
+        data_tree: R*-tree over data points (2T layout).
+        obstacle_tree: R*-tree over obstacles (2T layout).
+        unified_tree: one R*-tree holding both (1T layout); mutually
+            exclusive with the pair above.
+        config: default pruning configuration for queries.
+        overfetch: obstacle-cache scan depth multiplier (see
+            :class:`~repro.service.cache.ObstacleCache`); ``1.0`` keeps the
+            cold I/O pattern bit-identical to the free functions.
+    """
+
+    def __init__(self, data_tree: Optional[RStarTree] = None,
+                 obstacle_tree: Optional[RStarTree] = None,
+                 unified_tree: Optional[RStarTree] = None, *,
+                 config: ConnConfig = DEFAULT_CONFIG,
+                 overfetch: float = 1.0):
+        if unified_tree is not None:
+            if data_tree is not None or obstacle_tree is not None:
+                raise ValueError("pass either unified_tree or the "
+                                 "data/obstacle tree pair, not both")
+            self.layout = "1T"
+        else:
+            if data_tree is None or obstacle_tree is None:
+                raise ValueError("the 2T layout needs both data_tree and "
+                                 "obstacle_tree")
+            self.layout = "2T"
+        self.data_tree = data_tree
+        self.obstacle_tree = obstacle_tree
+        self.unified_tree = unified_tree
+        self.config = config
+        self.cache = ObstacleCache(
+            obstacle_tree if obstacle_tree is not None else unified_tree,
+            overfetch=overfetch)
+        self._service = QueryService(self)
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def from_trees(cls, data_tree: RStarTree, obstacle_tree: RStarTree,
+                   **kwargs: Any) -> "Workspace":
+        """A 2T workspace over existing trees."""
+        return cls(data_tree=data_tree, obstacle_tree=obstacle_tree, **kwargs)
+
+    @classmethod
+    def from_unified(cls, tree: RStarTree, **kwargs: Any) -> "Workspace":
+        """A 1T workspace over a tree built by ``build_unified_tree``."""
+        return cls(unified_tree=tree, **kwargs)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Tuple[Any, Tuple[float, float]]],
+                    obstacles: Iterable[Obstacle], layout: str = "2T",
+                    page_size: int = 4096, **kwargs: Any) -> "Workspace":
+        """Bulk-load fresh indexes from raw points and obstacles.
+
+        Args:
+            points: iterable of ``(payload, (x, y))``.
+            obstacles: iterable of :class:`~repro.obstacles.obstacle.Obstacle`.
+            layout: ``"2T"`` (separate trees, the paper's default) or
+                ``"1T"`` (one unified tree).
+        """
+        points = list(points)
+        obstacles = list(obstacles)
+        if layout == "1T":
+            return cls.from_unified(
+                build_unified_tree(points, obstacles, page_size=page_size),
+                **kwargs)
+        if layout != "2T":
+            raise ValueError(f"unknown layout {layout!r}")
+        data_tree = RStarTree.bulk_load(
+            ((pid, Rect.point(x, y)) for pid, (x, y) in points),
+            page_size=page_size)
+        obstacle_tree = RStarTree.bulk_load(
+            ((o, o.mbr()) for o in obstacles), page_size=page_size)
+        return cls.from_trees(data_tree, obstacle_tree, **kwargs)
+
+    # -------------------------------------------------------------- warm-up
+    def prefetch(self, rect: Rect, margin: float = 0.0) -> int:
+        """Warm the obstacle cache for a rectangular region of interest."""
+        return self.cache.prefetch(rect, margin=margin)
+
+    def prefetch_segment(self, segment: Segment, radius: float) -> int:
+        """Warm the cache for everything within ``radius`` of ``segment``."""
+        return self.cache.prefetch_segment(segment, radius)
+
+    def prefetch_all(self) -> int:
+        """Load the entire obstacle set; no query reads the tree afterwards."""
+        return self.cache.prefetch_all()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Cumulative obstacle-cache counters across every query so far."""
+        return self.cache.stats
+
+    # ------------------------------------------------------------- querying
+    @property
+    def service(self) -> "QueryService":
+        """The query service bound to this workspace."""
+        return self._service
+
+    def conn(self, query: Segment,
+             config: Optional[ConnConfig] = None) -> ConnResult:
+        """Continuous obstructed NN query (k = 1) on this workspace."""
+        return self._service.conn(query, config=config)
+
+    def coknn(self, query: Segment, k: int = 1,
+              config: Optional[ConnConfig] = None) -> ConnResult:
+        """Continuous obstructed k-NN query on this workspace."""
+        return self._service.coknn(query, k=k, config=config)
+
+    def onn(self, x: float, y: float, k: int = 1,
+            config: Optional[ConnConfig] = None
+            ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
+        """Snapshot obstructed k-NN at a point on this workspace."""
+        return self._service.onn(x, y, k=k, config=config)
+
+    def range(self, x: float, y: float, radius: float
+              ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
+        """Obstructed range query at a point on this workspace."""
+        return self._service.range(x, y, radius)
+
+    def batch(self, queries: Sequence[Segment], k: int = 1,
+              config: Optional[ConnConfig] = None) -> List[ConnResult]:
+        """Answer a batch of CONN/COkNN queries sharing cached obstacles."""
+        return self._service.batch(queries, k=k, config=config)
+
+    def trajectory(self, waypoints: Sequence[Tuple[float, float]], k: int = 1,
+                   config: Optional[ConnConfig] = None) -> TrajectoryResult:
+        """Trajectory CONN/COkNN; adjacent legs share retrieved obstacles."""
+        return self._service.trajectory(waypoints, k=k, config=config)
+
+
+class QueryService:
+    """Query execution over a :class:`Workspace`'s shared obstacle cache.
+
+    Every entry point matches the semantics of the corresponding free
+    function of :mod:`repro.core` exactly — identical owners, split points
+    and distances — while serving obstacle retrieval rounds from the
+    workspace cache whenever a coverage capsule proves the cache complete
+    for the requested footprint.  Per-query cache behavior is reported in
+    ``result.stats`` (``cache_hits`` / ``cache_misses`` / ``cache_served`` /
+    ``obstacle_reads``).
+    """
+
+    def __init__(self, workspace: Workspace):
+        self._ws = workspace
+
+    def _config(self, config: Optional[ConnConfig]) -> ConnConfig:
+        return config if config is not None else self._ws.config
+
+    def _open(self, anchor: Segment, vg: LocalVisibilityGraph,
+              stats: QueryStats, data_source_factory):
+        """Layout dispatch shared by every query kind.
+
+        Returns ``(source, retriever, trackers, finish)`` where ``finish()``
+        must run after the scan to charge the obstacle index's logical reads
+        to ``stats.obstacle_reads`` (the unified tree's reads under 1T,
+        where data and obstacle pages are not separable).
+        """
+        ws = self._ws
+        if ws.layout == "2T":
+            tracker = ws.obstacle_tree.tracker
+            retriever = ws.cache.view(anchor, vg, stats)
+            source = data_source_factory()
+            trackers = (ws.data_tree.tracker, ws.obstacle_tree.tracker)
+        else:
+            tracker = ws.unified_tree.tracker
+            source = retriever = _CachingUnifiedSource(
+                ws.unified_tree, anchor, vg, stats, ws.cache)
+            trackers = (ws.unified_tree.tracker,)
+        snap = tracker.stats.snapshot()
+
+        def finish() -> None:
+            stats.obstacle_reads = tracker.stats.delta(snap).logical_reads
+
+        return source, retriever, trackers, finish
+
+    # ------------------------------------------------------------ conn/coknn
+    def coknn(self, query: Segment, k: int = 1,
+              config: Optional[ConnConfig] = None) -> ConnResult:
+        """Continuous obstructed k-NN of every point of ``query``."""
+        if query.is_degenerate():
+            raise ValueError("query segment is degenerate; use onn() for "
+                             "points")
+        cfg = self._config(config)
+        stats = QueryStats()
+        vg = LocalVisibilityGraph(query)
+        source, retriever, trackers, finish = self._open(
+            query, vg, stats,
+            lambda: TreeDataSource(self._ws.data_tree, query))
+        result = run_query(source, retriever, vg, query, k, cfg, trackers,
+                           stats)
+        finish()
+        return result
+
+    def conn(self, query: Segment,
+             config: Optional[ConnConfig] = None) -> ConnResult:
+        """Continuous obstructed nearest-neighbor query (k = 1)."""
+        return self.coknn(query, k=1, config=config)
+
+    # --------------------------------------------------------------- points
+    def onn(self, x: float, y: float, k: int = 1,
+            config: Optional[ConnConfig] = None
+            ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
+        """The ``k`` obstructed nearest neighbors of point ``(x, y)``.
+
+        Works on both layouts (the 1T path routes the unified scan's
+        obstacles straight into the visibility graph).
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        cfg = self._config(config)
+        stats = QueryStats()
+        anchor = Segment(x, y, x, y)
+        vg = LocalVisibilityGraph(anchor)
+        source, retriever, trackers, finish = self._open(
+            anchor, vg, stats, lambda: PointScan(self._ws.data_tree, x, y))
+        neighbors = run_onn_scan(source, retriever, vg, k, cfg, stats,
+                                 trackers)
+        finish()
+        return neighbors, stats
+
+    def range(self, x: float, y: float, radius: float
+              ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
+        """All points within obstructed distance ``radius`` of ``(x, y)``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        stats = QueryStats()
+        anchor = Segment(x, y, x, y)
+        vg = LocalVisibilityGraph(anchor)
+        source, retriever, trackers, finish = self._open(
+            anchor, vg, stats, lambda: PointScan(self._ws.data_tree, x, y))
+        matches = run_range_scan(source, retriever, vg, radius, stats,
+                                 trackers)
+        finish()
+        return matches, stats
+
+    # ------------------------------------------------------------ composites
+    def batch(self, queries: Sequence[Segment], k: int = 1,
+              config: Optional[ConnConfig] = None) -> List[ConnResult]:
+        """Answer many CONN/COkNN queries; later ones reuse cached obstacles."""
+        return [self.coknn(q, k=k, config=config) for q in queries]
+
+    def trajectory(self, waypoints: Sequence[Tuple[float, float]],
+                   k: int = 1,
+                   config: Optional[ConnConfig] = None) -> TrajectoryResult:
+        """Trajectory CONN/COkNN along a polyline.
+
+        Each leg runs the standard engine with its own visibility graph
+        (keeping per-leg pruning radii tight), but all legs draw obstacles
+        from the shared cache, so adjacent legs — whose retrieval footprints
+        overlap around the common waypoint — stop re-reading the obstacle
+        tree for obstacles the previous leg already fetched.
+        """
+        if len(waypoints) < 2:
+            raise ValueError("a trajectory needs at least two waypoints")
+        legs: List[ConnResult] = []
+        for (ax, ay), (bx, by) in zip(waypoints, waypoints[1:]):
+            seg = Segment(float(ax), float(ay), float(bx), float(by))
+            if seg.is_degenerate():
+                continue
+            legs.append(self.coknn(seg, k=k, config=config))
+        if not legs:
+            raise ValueError("trajectory has no leg of positive length")
+        return TrajectoryResult(waypoints, legs, k)
+
+    # ----------------------------------------------------------------- joins
+    def _require_2t(self, what: str) -> RStarTree:
+        if self._ws.layout != "2T":
+            raise ValueError(f"{what} needs the 2T layout (a dedicated "
+                             "obstacle tree)")
+        return self._ws.obstacle_tree
+
+    def e_distance_join(self, tree_a: RStarTree, tree_b: RStarTree,
+                        e: float) -> Tuple[List[Tuple[Any, Any, float]],
+                                           QueryStats]:
+        """All cross pairs within obstructed distance ``e`` (shared cache)."""
+        obstacle_tree = self._require_2t("e_distance_join")
+        return obstructed_e_distance_join(tree_a, tree_b, obstacle_tree, e,
+                                          cache=self._ws.cache)
+
+    def closest_pair(self, tree_a: RStarTree, tree_b: RStarTree
+                     ) -> Tuple[Optional[Tuple[Any, Any, float]], QueryStats]:
+        """The cross-set pair with the smallest obstructed distance."""
+        obstacle_tree = self._require_2t("closest_pair")
+        return obstructed_closest_pair(tree_a, tree_b, obstacle_tree,
+                                       cache=self._ws.cache)
+
+    def semi_join(self, tree_a: RStarTree, tree_b: RStarTree
+                  ) -> Tuple[List[Tuple[Any, Any, float]], QueryStats]:
+        """For each point of ``tree_a``: its obstructed NN in ``tree_b``."""
+        obstacle_tree = self._require_2t("semi_join")
+        return obstructed_semi_join(tree_a, tree_b, obstacle_tree,
+                                    cache=self._ws.cache)

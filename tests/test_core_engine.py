@@ -103,6 +103,37 @@ class TestConnResult:
         assert intervals[0][0] == ("a", "b")
         assert intervals[-1][0] == ("b", "a")
 
+    def test_knn_intervals_merge_unreachable_level_boundaries(self):
+        """A level boundary between two no-path pieces must not force a cut.
+
+        Unreachable (``cp is None``) pieces can carry arbitrary recorded
+        owners (whichever function lost there); the ordered k-NN tuple is
+        unchanged across such a boundary, so the intervals must merge and
+        the reported owner must be the normalized ``None``.
+        """
+        from repro.core.distance_function import Piece
+
+        level1 = fn((50, 10), 0.0, "a")
+        level2 = PiecewiseDistance(Q, [
+            Piece(0.0, 40.0, None, math.inf, "a"),
+            Piece(40.0, 100.0, None, math.inf, "b"),
+        ])
+        res = ConnResult(Q, 2, [level1, level2], QueryStats())
+        intervals = res.knn_intervals()
+        assert intervals == [(("a", None), (0.0, 100.0))]
+
+    def test_knn_intervals_merge_same_owner_cp_change(self):
+        """A control-point change within one owner never cuts the partition."""
+        from repro.core.distance_function import Piece
+
+        level1 = PiecewiseDistance(Q, [
+            Piece(0.0, 60.0, (0.0, 10.0), 0.0, "a"),
+            Piece(60.0, 100.0, (100.0, 10.0), 2.0, "a"),
+        ])
+        res = ConnResult(Q, 1, [level1], QueryStats())
+        intervals = res.knn_intervals()
+        assert intervals == [(("a",), (0.0, 100.0))]
+
     def test_tuples_and_split_points(self):
         res = self._result()
         assert res.split_points() == pytest.approx([50.0])

@@ -89,6 +89,25 @@ class TestStructure:
         with pytest.raises(ValueError):
             vg.remove_point(vg.S)
 
+    def test_seeded_constructor_equals_add_obstacles(self):
+        q = Segment(0, 50, 100, 50)
+        obstacles = [RectObstacle(30, 40, 40, 60),
+                     SegmentObstacle(60, 30, 70, 70)]
+        seeded = LocalVisibilityGraph(q, obstacles=obstacles)
+        grown = make_vg(obstacles, q)
+        assert seeded.svg_size == grown.svg_size
+        da = seeded.shortest_distances(seeded.S, [seeded.E])[seeded.E]
+        db = grown.shortest_distances(grown.S, [grown.E])[grown.E]
+        assert da == pytest.approx(db)
+
+    def test_duplicate_obstacles_skipped(self):
+        obstacles = [RectObstacle(30, 40, 40, 60)]
+        vg = make_vg(obstacles)
+        assert vg.add_obstacles(obstacles) == 0  # re-offer is a no-op
+        assert vg.add_obstacles([SegmentObstacle(60, 30, 70, 70),
+                                 obstacles[0]]) == 1
+        assert vg.svg_size == 2 + 4 + 2
+
     def test_incremental_equals_batch(self):
         """Adding obstacles one by one == adding them all at once."""
         rng = random.Random(3)

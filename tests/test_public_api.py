@@ -15,10 +15,12 @@ import repro.datasets
 import repro.geometry
 import repro.index
 import repro.obstacles
+import repro.service
 
 
 ALL_PACKAGES = [repro, repro.baselines, repro.bench, repro.core,
-                repro.datasets, repro.geometry, repro.index, repro.obstacles]
+                repro.datasets, repro.geometry, repro.index, repro.obstacles,
+                repro.service]
 
 
 class TestExports:
