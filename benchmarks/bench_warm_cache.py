@@ -19,7 +19,7 @@ import random
 import sys
 from typing import Sequence
 
-from repro.bench.experiments import QUERIES_PER_SCALE, SCALES, make_dataset
+from repro.bench.experiments import SCALES, make_dataset
 from repro.bench.metrics import format_table
 from repro.bench.warmcold import warm_cold_rows
 from repro.bench.workloads import clustered_query_workload

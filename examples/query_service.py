@@ -2,10 +2,12 @@
 """Query service: one workspace, many correlated queries, amortized I/O.
 
 A delivery drone repeatedly re-plans while drifting along a corridor; each
-re-plan is a CONN query over the same city.  Answered through one
-:class:`repro.Workspace`, the queries share retrieved obstacles: the first
-pays the obstacle-tree reads, later ones are served from the cache's
-coverage capsules — same answers, a fraction of the I/O.
+re-plan is a CONN query over the same city.  Submitted as typed
+:class:`repro.CoknnQuery` descriptions to one :class:`repro.Workspace`, the
+queries share retrieved obstacles: the planner's ``explain()`` shows the
+cold-vs-warm estimate, ``execute_many`` reorders the batch by spatial
+locality, and later queries are served from the cache's coverage capsules —
+same answers, a fraction of the I/O.
 
 Run:  python examples/query_service.py
 """
@@ -14,7 +16,7 @@ from __future__ import annotations
 
 import random
 
-from repro import Rect, RectObstacle, Segment, Workspace
+from repro import CoknnQuery, ConnQuery, Rect, RectObstacle, Segment, Workspace
 
 
 def main() -> None:
@@ -41,12 +43,20 @@ def main() -> None:
     print(f"prefetched {loaded} of {len(buildings)} buildings around the "
           f"corridor\n")
 
-    queries = [Segment(150 + 40 * i, 500 + 3 * i, 280 + 40 * i, 510 + 3 * i)
+    # Each re-plan is a typed query description; the planner picks the
+    # algorithm and estimates obstacle I/O from the cache's capsules.
+    replans = [CoknnQuery(Segment(150 + 40 * i, 500 + 3 * i,
+                                  280 + 40 * i, 510 + 3 * i),
+                          label=f"re-plan-{i}")
                for i in range(6)]
-    for i, result in enumerate(ws.batch(queries)):
+    print(ws.plan(replans[0]).explain(), "\n")
+
+    # execute_many reorders by spatial locality behind the scenes but
+    # returns results in submission order, each with its query attached.
+    for result in ws.execute_many(replans):
         s = result.stats
         owners = [o for o, _ in result.tuples()]
-        print(f"re-plan {i}: {len(owners)} result intervals, "
+        print(f"{result.query.label}: {len(owners)} result intervals, "
               f"obstacle reads={s.obstacle_reads}, "
               f"cache hits/misses={s.cache_hits}/{s.cache_misses}, "
               f"served={s.cache_served} of noe={s.noe}")
@@ -57,13 +67,16 @@ def main() -> None:
           f"({cs.hits} hits / {cs.misses} misses), "
           f"{cs.served} obstacles served from cache")
 
-    # The same street walked twice: the repeat costs zero obstacle reads.
-    walk = Segment(400, 300, 600, 310)
-    first = ws.conn(walk)
-    again = ws.conn(walk)
+    # The same street walked twice: the repeat costs zero obstacle reads,
+    # and the planner knows it will be warm before executing.
+    walk = ConnQuery(Segment(400, 300, 600, 310), label="street-walk")
+    first = ws.execute(walk)
+    assert ws.plan(walk).warm, "the second run should plan as a cache hit"
+    again = ws.execute(walk)
     assert again.tuples() == first.tuples()
     print(f"\nrepeat query: first run read {first.stats.obstacle_reads} "
-          f"obstacle pages, repeat read {again.stats.obstacle_reads}")
+          f"obstacle pages, repeat read {again.stats.obstacle_reads} "
+          f"(planned warm: est. {ws.plan(walk).est_obstacle_io} reads)")
 
 
 if __name__ == "__main__":

@@ -2,9 +2,12 @@
 """Quickstart: a CONN query on a small hand-built scene.
 
 Builds two R*-trees (data points and obstacles), runs a continuous
-obstructed nearest-neighbor query along a segment, and prints the result
-list, the split points, and a comparison with the obstacle-free (Euclidean)
-continuous NN — the contrast Figure 1 of the paper illustrates.
+obstructed nearest-neighbor query along a segment — first through the
+classic one-call API, then through the declarative API (a typed
+:class:`~repro.ConnQuery` planned and executed on a workspace) — and prints
+the result list, the split points, the query plan, and a comparison with
+the obstacle-free (Euclidean) continuous NN — the contrast Figure 1 of the
+paper illustrates.
 
 Run:  python examples/quickstart.py
 """
@@ -12,9 +15,11 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import (
+    ConnQuery,
     RStarTree,
     RectObstacle,
     Segment,
+    Workspace,
     cnn_euclidean,
     conn,
     obstructed_path,
@@ -50,6 +55,16 @@ def main() -> None:
     for owner, (lo, hi) in result.tuples():
         print(f"  on [{lo:6.2f}, {hi:6.2f}] the nearest facility is {owner}")
     print(f"  split points: {[round(t, 2) for t in result.split_points()]}")
+
+    # The same query, declaratively: describe it, plan it, execute it.
+    ws = Workspace.from_trees(data, obstacle_tree)
+    query = ConnQuery(walk, label="evening-walk")
+    print("\n=== The same query through the declarative API ===")
+    print(ws.plan(query).explain())
+    declarative = ws.execute(query)
+    assert declarative.tuples() == result.tuples()
+    assert declarative.query is query
+    print("  execute() returned the identical result list")
 
     print("\n=== CNN (Euclidean, ignoring the buildings) ===")
     euclid = cnn_euclidean(data, walk)

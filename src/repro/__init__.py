@@ -5,18 +5,25 @@ Nearest Neighbor Queries in Spatial Databases* (SIGMOD 2009): the CONN and
 COkNN query processing algorithms, the substrates they stand on (paged
 R*-tree, local visibility graphs, exact visible regions), a
 :class:`~repro.service.Workspace` service layer that amortizes obstacle
-retrieval across query workloads, and the baselines, dataset generators and
-benchmarks needed to regenerate the paper's evaluation.
+retrieval across query workloads, a declarative query API
+(:mod:`repro.query`) — typed query descriptions, a planner with
+``explain()``, and a locality-aware batch executor — and the baselines,
+dataset generators and benchmarks needed to regenerate the paper's
+evaluation.
 
 See the repository's ``README.md`` for installation, the full quickstart and
-a map of the package layout.  The two-line version::
+a map of the package layout.  The short version::
 
-    from repro import Workspace, Segment
+    from repro import CoknnQuery, Segment, Workspace
 
     ws = Workspace.from_points(points, obstacles)      # or .from_trees(...)
-    result = ws.conn(Segment(0, 50, 100, 50))
+    result = ws.conn(Segment(0, 50, 100, 50))          # classic shorthand
     for owner, (lo, hi) in result.tuples():
         print(f"point {owner} is the obstructed NN on [{lo:.1f}, {hi:.1f}]")
+
+    q = CoknnQuery(Segment(0, 50, 100, 50), knn=3)     # declarative form
+    print(ws.plan(q).explain())                        # algorithm + est. I/O
+    results = ws.execute_many([q, *more_queries])      # locality-scheduled
 """
 
 from .baselines import (
@@ -34,6 +41,7 @@ from .core import (
     ConnResult,
     PiecewiseDistance,
     QueryStats,
+    TrajectoryResult,
     build_unified_tree,
     coknn,
     coknn_single_tree,
@@ -51,6 +59,23 @@ from .core import (
 )
 from .geometry import IntervalSet, Point, Rect, Segment
 from .index import IncrementalNearest, LRUBuffer, PageTracker, RStarTree
+from .query import (
+    ClosestPairQuery,
+    ClosestPairResult,
+    CoknnQuery,
+    ConnQuery,
+    EDistanceJoinQuery,
+    JoinResult,
+    NeighborsResult,
+    OnnQuery,
+    PlannerOptions,
+    Query,
+    QueryPlan,
+    QueryResult,
+    RangeQuery,
+    SemiJoinQuery,
+    TrajectoryQuery,
+)
 from .service import (
     CachedObstacleView,
     CacheStats,
@@ -70,33 +95,49 @@ from .obstacles import (
     visible_region,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CacheStats",
     "CachedObstacleView",
+    "ClosestPairQuery",
+    "ClosestPairResult",
+    "CoknnQuery",
     "ConnConfig",
+    "ConnQuery",
     "ConnResult",
     "DEFAULT_CONFIG",
+    "EDistanceJoinQuery",
     "GlobalVisibilityGraph",
     "IncrementalNearest",
     "IntervalSet",
+    "JoinResult",
     "LRUBuffer",
     "LocalVisibilityGraph",
+    "NeighborsResult",
     "Obstacle",
     "ObstacleCache",
     "ObstacleSet",
+    "OnnQuery",
     "PageTracker",
+    "PlannerOptions",
     "PolygonObstacle",
     "PiecewiseDistance",
     "Point",
+    "Query",
+    "QueryPlan",
+    "QueryResult",
     "QueryService",
     "QueryStats",
     "RStarTree",
+    "RangeQuery",
     "Rect",
     "RectObstacle",
     "Segment",
     "SegmentObstacle",
+    "SemiJoinQuery",
+    "TrajectoryQuery",
+    "TrajectoryResult",
     "Workspace",
     "build_unified_tree",
     "cknn_euclidean",

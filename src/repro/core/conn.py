@@ -38,13 +38,18 @@ def coknn(data_tree: RStarTree, obstacle_tree: RStarTree, query: Segment,
     Returns:
         A :class:`~repro.core.engine.ConnResult`.
     """
+    from ..query.queries import CoknnQuery
     from ..service.workspace import Workspace
 
     ws = Workspace(data_tree=data_tree, obstacle_tree=obstacle_tree)
-    return ws.coknn(query, k=k, config=config)
+    return ws.execute(CoknnQuery(query, k, config=config))
 
 
 def conn(data_tree: RStarTree, obstacle_tree: RStarTree, query: Segment,
          config: ConnConfig = DEFAULT_CONFIG) -> ConnResult:
     """Continuous obstructed nearest-neighbor query (k = 1), Definition 6."""
-    return coknn(data_tree, obstacle_tree, query, k=1, config=config)
+    from ..query.queries import ConnQuery
+    from ..service.workspace import Workspace
+
+    ws = Workspace(data_tree=data_tree, obstacle_tree=obstacle_tree)
+    return ws.execute(ConnQuery(query, config=config))

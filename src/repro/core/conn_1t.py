@@ -140,12 +140,15 @@ def coknn_single_tree(tree: RStarTree, query: Segment, k: int = 1,
                       config: ConnConfig = DEFAULT_CONFIG) -> ConnResult:
     """COkNN over a unified tree built by :func:`build_unified_tree`.
 
-    A thin wrapper over a one-shot :class:`~repro.service.Workspace`; build
-    the workspace yourself to amortize obstacle retrieval across queries.
+    A thin wrapper over a one-shot :class:`~repro.service.Workspace`
+    executing a :class:`~repro.query.queries.CoknnQuery`; build the
+    workspace yourself to amortize obstacle retrieval across queries.
     """
+    from ..query.queries import CoknnQuery
     from ..service.workspace import Workspace
 
-    return Workspace(unified_tree=tree).coknn(query, k=k, config=config)
+    return Workspace(unified_tree=tree).execute(
+        CoknnQuery(query, k, config=config))
 
 
 def conn_single_tree(tree: RStarTree, query: Segment,

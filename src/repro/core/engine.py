@@ -108,7 +108,9 @@ class ConnResult:
 
     The primary view is :meth:`tuples` — the paper's result list of
     ``(point, interval)`` pairs — plus accessors for distances, split points
-    and, for ``k > 1``, the per-interval k-NN sets.
+    and, for ``k > 1``, the per-interval k-NN sets.  Satisfies the unified
+    result protocol of the declarative API (:meth:`tuples`, :attr:`stats`,
+    and a :attr:`query` back-reference filled by ``Workspace.execute``).
     """
 
     def __init__(self, qseg: Segment, k: int,
@@ -117,6 +119,8 @@ class ConnResult:
         self.k = k
         self.levels = list(levels)
         self.stats = stats
+        self.query = None
+        """The submitted query description (set by ``Workspace.execute``)."""
 
     @property
     def envelope(self) -> PiecewiseDistance:

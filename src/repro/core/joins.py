@@ -101,11 +101,22 @@ def _items(tree: RStarTree) -> List[Tuple[Any, Tuple[float, float]]]:
     return [(payload, rect.center()) for payload, rect in tree.items()]
 
 
+def _one_shot_workspace(outer_tree: RStarTree, obstacle_tree: RStarTree):
+    """A throwaway workspace routing a free join call through the planner."""
+    from ..service.workspace import Workspace
+
+    return Workspace(data_tree=outer_tree, obstacle_tree=obstacle_tree)
+
+
 def obstructed_e_distance_join(tree_a: RStarTree, tree_b: RStarTree,
                                obstacle_tree: RStarTree, e: float,
                                cache=None
                                ) -> Tuple[List[Tuple[Any, Any, float]], QueryStats]:
     """All cross pairs with obstructed distance at most ``e``.
+
+    A thin shim over a one-shot :class:`~repro.service.Workspace` executing
+    an :class:`~repro.query.queries.EDistanceJoinQuery`; build the workspace
+    yourself to amortize obstacle retrieval across queries.
 
     Args:
         cache: optional :class:`~repro.service.ObstacleCache` over
@@ -116,6 +127,20 @@ def obstructed_e_distance_join(tree_a: RStarTree, tree_b: RStarTree,
         ``(pairs, stats)`` with pairs as ``(payload_a, payload_b, distance)``
         sorted by distance.
     """
+    if cache is not None:
+        return _e_distance_join_impl(tree_a, tree_b, obstacle_tree, e,
+                                     cache=cache)
+    from ..query.queries import EDistanceJoinQuery
+
+    res = _one_shot_workspace(tree_a, obstacle_tree).execute(
+        EDistanceJoinQuery(tree_a, tree_b, e))
+    return res.tuples(), res.stats
+
+
+def _e_distance_join_impl(tree_a: RStarTree, tree_b: RStarTree,
+                          obstacle_tree: RStarTree, e: float, cache=None
+                          ) -> Tuple[List[Tuple[Any, Any, float]], QueryStats]:
+    """Execution backend of the obstructed e-distance join."""
     if e < 0:
         raise ValueError("e must be non-negative")
     stats = QueryStats()
@@ -151,8 +176,23 @@ def obstructed_closest_pair(tree_a: RStarTree, tree_b: RStarTree,
 
     Candidate pairs are examined in ascending *Euclidean* distance (a lower
     bound), so the scan stops as soon as the next candidate's Euclidean
-    distance exceeds the best obstructed distance found.
+    distance exceeds the best obstructed distance found.  A thin shim over a
+    one-shot workspace executing a
+    :class:`~repro.query.queries.ClosestPairQuery`.
     """
+    if cache is not None:
+        return _closest_pair_impl(tree_a, tree_b, obstacle_tree, cache=cache)
+    from ..query.queries import ClosestPairQuery
+
+    res = _one_shot_workspace(tree_a, obstacle_tree).execute(
+        ClosestPairQuery(tree_a, tree_b))
+    return res.pair, res.stats
+
+
+def _closest_pair_impl(tree_a: RStarTree, tree_b: RStarTree,
+                       obstacle_tree: RStarTree, cache=None
+                       ) -> Tuple[Tuple[Any, Any, float] | None, QueryStats]:
+    """Execution backend of the obstructed closest-pair query."""
     stats = QueryStats()
     items_a = _items(tree_a)
     items_b = _items(tree_b)
@@ -184,10 +224,26 @@ def obstructed_semi_join(tree_a: RStarTree, tree_b: RStarTree,
                          ) -> Tuple[List[Tuple[Any, Any, float]], QueryStats]:
     """For each point of ``tree_a``: its obstructed NN in ``tree_b``.
 
+    A thin shim over a one-shot workspace executing a
+    :class:`~repro.query.queries.SemiJoinQuery`.
+
     Returns:
         ``(rows, stats)``, one ``(payload_a, payload_b, distance)`` row per
         outer point (``payload_b`` is ``None`` when unreachable).
     """
+    if cache is not None:
+        return _semi_join_impl(tree_a, tree_b, obstacle_tree, cache=cache)
+    from ..query.queries import SemiJoinQuery
+
+    res = _one_shot_workspace(tree_a, obstacle_tree).execute(
+        SemiJoinQuery(tree_a, tree_b))
+    return res.tuples(), res.stats
+
+
+def _semi_join_impl(tree_a: RStarTree, tree_b: RStarTree,
+                    obstacle_tree: RStarTree, cache=None
+                    ) -> Tuple[List[Tuple[Any, Any, float]], QueryStats]:
+    """Execution backend of the obstructed semi-join."""
     stats = QueryStats()
     items_a = _items(tree_a)
     rows: List[Tuple[Any, Any, float]] = []

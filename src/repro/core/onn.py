@@ -119,25 +119,25 @@ def run_onn_scan(source, retriever: ObstacleSource,
 
 
 def onn(data_tree: RStarTree, obstacle_tree: RStarTree,
-        x: float, y: float, k: int = 1,
+        x, y: float | None = None, k: int = 1,
         config: ConnConfig = DEFAULT_CONFIG) -> Tuple[List[Tuple[Any, float]], QueryStats]:
-    """The ``k`` obstructed nearest neighbors of point ``(x, y)``.
+    """The ``k`` obstructed nearest neighbors of a query point.
+
+    The point may be given as bare floats ``onn(dt, ot, x, y)``, as one
+    tuple ``onn(dt, ot, (x, y))``, or as a
+    :class:`~repro.geometry.point.Point`.  A thin shim over a one-shot
+    :class:`~repro.service.Workspace` executing an
+    :class:`~repro.query.queries.OnnQuery`.
 
     Returns:
         ``(neighbors, stats)`` where neighbors is a list of
         ``(payload, obstructed_distance)`` in ascending distance order
         (fewer than ``k`` when the data set is small or sealed off).
     """
-    if k < 1:
-        raise ValueError("k must be at least 1")
-    stats = QueryStats()
-    anchor = Segment(x, y, x, y)
-    vg = LocalVisibilityGraph(anchor)
-    retriever = ObstacleRetriever(obstacle_tree, anchor, vg, stats)
-    neighbors = run_onn_scan(PointScan(data_tree, x, y), retriever, vg, k,
-                             config, stats,
-                             (data_tree.tracker, obstacle_tree.tracker))
-    return neighbors, stats
+    from ..service.workspace import Workspace
+
+    ws = Workspace(data_tree=data_tree, obstacle_tree=obstacle_tree)
+    return ws.onn(x, y, k=k, config=config)
 
 
 def obstructed_distance_indexed(a: Tuple[float, float], b: Tuple[float, float],

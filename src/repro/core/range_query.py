@@ -20,12 +20,11 @@ import time
 from typing import Any, List, Sequence, Tuple
 
 from ..geometry.predicates import EPS
-from ..geometry.segment import Segment
 from ..index.pagestore import PageTracker
 from ..index.rstar import RStarTree
 from ..obstacles.visgraph import LocalVisibilityGraph
-from .ior import ObstacleRetriever, ObstacleSource
-from .onn import PointScan, _stable_distance
+from .ior import ObstacleSource
+from .onn import _stable_distance
 from .stats import QueryStats
 
 
@@ -67,21 +66,21 @@ def run_range_scan(source, retriever: ObstacleSource,
 
 
 def obstructed_range(data_tree: RStarTree, obstacle_tree: RStarTree,
-                     x: float, y: float, radius: float
+                     x, y: float | None = None,
+                     radius: float | None = None
                      ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
-    """All points within obstructed distance ``radius`` of ``(x, y)``.
+    """All points within obstructed distance ``radius`` of a query point.
+
+    Accepts ``(x, y, radius)``, ``((x, y), radius)``, or
+    ``(Point, radius)`` spellings.  A thin shim over a one-shot
+    :class:`~repro.service.Workspace` executing a
+    :class:`~repro.query.queries.RangeQuery`.
 
     Returns:
         ``(matches, stats)`` with matches as ``(payload, obstructed_distance)``
         pairs in ascending distance order.
     """
-    if radius < 0:
-        raise ValueError("radius must be non-negative")
-    stats = QueryStats()
-    anchor = Segment(x, y, x, y)
-    vg = LocalVisibilityGraph(anchor)
-    retriever = ObstacleRetriever(obstacle_tree, anchor, vg, stats)
-    matches = run_range_scan(PointScan(data_tree, x, y), retriever, vg,
-                             radius, stats,
-                             (data_tree.tracker, obstacle_tree.tracker))
-    return matches, stats
+    from ..service.workspace import Workspace
+
+    ws = Workspace(data_tree=data_tree, obstacle_tree=obstacle_tree)
+    return ws.range(x, y, radius)

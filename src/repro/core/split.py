@@ -107,8 +107,13 @@ def crossing_params(qseg: Segment,
                 candidates.append(-c_coef / b_coef)
         else:
             disc = b_coef * b_coef - 4.0 * a_coef * c_coef
-            if disc >= 0.0:
-                sq = math.sqrt(disc)
+            # A near-tangent tie (double root, e.g. a vanishing base gap)
+            # can land the discriminant a rounding error below zero; treat
+            # it as zero and let the residual filter reject false alarms.
+            disc_tol = 1e-9 * max(b_coef * b_coef,
+                                  abs(4.0 * a_coef * c_coef))
+            if disc >= -disc_tol:
+                sq = math.sqrt(max(disc, 0.0))
                 # Numerically stable quadratic roots.
                 if b_coef >= 0.0:
                     qq = -0.5 * (b_coef + sq)

@@ -23,13 +23,20 @@ from .stats import QueryStats
 
 
 class TrajectoryResult:
-    """Answer of a trajectory CONN/COkNN query over a polyline."""
+    """Answer of a trajectory CONN/COkNN query over a polyline.
+
+    Satisfies the unified result protocol of the declarative API
+    (:meth:`tuples`, :attr:`stats`, and a :attr:`query` back-reference
+    filled by the executor).
+    """
 
     def __init__(self, waypoints: Sequence[Tuple[float, float]],
                  legs: Sequence[ConnResult], k: int):
         self.waypoints = [(float(x), float(y)) for x, y in waypoints]
         self.legs = list(legs)
         self.k = k
+        self.query = None
+        """The submitted query description (set by ``Workspace.execute``)."""
         self._offsets: List[float] = [0.0]
         for leg in self.legs:
             self._offsets.append(self._offsets[-1] + leg.qseg.length)
@@ -99,10 +106,11 @@ def trajectory_coknn(data_tree: RStarTree, obstacle_tree: RStarTree,
         waypoints: at least two vertices of the polyline; zero-length legs
             are skipped.
     """
+    from ..query.queries import TrajectoryQuery
     from ..service.workspace import Workspace
 
     ws = Workspace(data_tree=data_tree, obstacle_tree=obstacle_tree)
-    return ws.trajectory(waypoints, k=k, config=config)
+    return ws.execute(TrajectoryQuery(tuple(waypoints), k, config=config))
 
 
 def trajectory_conn(data_tree: RStarTree, obstacle_tree: RStarTree,

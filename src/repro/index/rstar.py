@@ -120,6 +120,17 @@ class RStarTree:
         self.tracker.attach_buffer(buffer)
 
     @property
+    def bounds(self) -> Rect | None:
+        """MBR of the whole indexed set (``None`` for an empty tree).
+
+        Computed from the root's entries without touching pages below the
+        root, so it is safe to call on every query plan.
+        """
+        if not self.root.entries:
+            return None
+        return self.root.mbr()
+
+    @property
     def height(self) -> int:
         """Number of levels (1 for a tree that is just a leaf root)."""
         return self.root.level + 1

@@ -1,0 +1,270 @@
+"""The query planner: algorithm + layout selection and ``explain()``.
+
+``Workspace.plan(query)`` turns a typed query description into a
+:class:`QueryPlan` — the algorithm the executor will run, the tree layout it
+runs on, and an obstacle-I/O estimate derived from the workspace cache's
+coverage capsules.  The plan renders itself as a human-readable transcript
+via :meth:`QueryPlan.explain`, the declarative API's answer to SQL's
+``EXPLAIN``.
+
+Algorithm selection is deliberately simple and deterministic:
+
+* CONN / COkNN / trajectory / ONN / range run the paper's engine on the
+  workspace layout (``"2T"`` separate trees or ``"1T"`` unified tree);
+* on the 2T layout a workspace may opt into a *naive fallback*
+  (:attr:`PlannerOptions.naive_max_points`): for tiny datasets the plan
+  drains the whole obstacle tree into the cache once and serves every
+  retrieval round from memory — identical results, no incremental
+  retrieval machinery;
+* the obstructed joins require the 2T layout (they need a dedicated
+  obstacle tree), so planning them on 1T fails fast.
+
+The I/O estimate is honest about being an estimate: when a coverage capsule
+proves the query's predicted footprint cached, the plan reports a warm hit
+(zero obstacle-tree reads on 2T); otherwise it scales the obstacle tree's
+leaf count by the footprint's share of the indexed area.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..core.config import ConnConfig
+from ..geometry.rectangle import Rect
+from ..geometry.segment import Segment
+from ..index.rstar import RStarTree
+from .queries import (
+    ClosestPairQuery,
+    CoknnQuery,
+    EDistanceJoinQuery,
+    OnnQuery,
+    Query,
+    RangeQuery,
+    SemiJoinQuery,
+    TrajectoryQuery,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..service.workspace import Workspace
+
+
+NAIVE_PRELOAD = "naive-preload"
+"""Algorithm name of the tiny-dataset fallback (exhaustive obstacle preload)."""
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """Workspace-level planner knobs.
+
+    Attributes:
+        naive_max_points: datasets whose data tree holds at most this many
+            points plan the :data:`NAIVE_PRELOAD` fallback on the 2T layout
+            (0 — the default — never; the incremental engine is always
+            used).  Results are identical either way; only the I/O pattern
+            changes.
+        grid_cells: granularity of the batch executor's locality grid (the
+            space is cut into roughly ``grid_cells`` cells per axis).
+        prefetch_margin_factor: safety factor applied to the capsule-derived
+            prefetch margin in scheduled batches.
+    """
+
+    naive_max_points: int = 0
+    grid_cells: int = 16
+    prefetch_margin_factor: float = 1.25
+
+
+DEFAULT_PLANNER = PlannerOptions()
+
+
+@dataclass
+class QueryPlan:
+    """An executable plan for one typed query on one workspace.
+
+    Produced by :meth:`Workspace.plan`; pass it to :meth:`Workspace.execute`
+    to run exactly this plan, or call :meth:`explain` for the transcript.
+    """
+
+    query: Query
+    algorithm: str
+    layout: str
+    k: int
+    config: ConnConfig
+    footprint: Optional[Rect]
+    est_radius: float
+    """Estimated obstacle-retrieval radius (heuristic; exact for range)."""
+    warm: bool
+    """Whether a coverage capsule proves the estimated footprint cached."""
+    est_obstacle_io: int
+    """Estimated obstacle-tree page reads (0 for a warm 2T plan)."""
+    cached_obstacles: int
+    capsules: int
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    def explain(self) -> str:
+        """Human-readable plan transcript (the declarative ``EXPLAIN``)."""
+        cfg = self.config
+        flags = (f"lemma1={'on' if cfg.use_lemma1 else 'off'} "
+                 f"lemma5={'on' if cfg.use_lemma5 else 'off'} "
+                 f"lemma6={'on' if cfg.use_lemma6 else 'off'} "
+                 f"lemma7={'on' if cfg.use_lemma7 else 'off'} "
+                 f"rlmax={'on' if cfg.use_rlmax else 'off'} "
+                 f"validate={'on' if cfg.validate_coverage else 'off'}")
+        if self.footprint is not None:
+            fp = (f"[{self.footprint.xlo:g}, {self.footprint.xhi:g}] x "
+                  f"[{self.footprint.ylo:g}, {self.footprint.yhi:g}]")
+        else:
+            fp = "(non-spatial)"
+        temp = "warm" if self.warm else "cold"
+        lines = [
+            f"QueryPlan: {self.algorithm} (layout {self.layout}, k={self.k})",
+            f"  query     : {self.query.describe()}"
+            + (f"  [label={self.query.label!r}]" if self.query.label else ""),
+            f"  footprint : {fp}  (est. retrieval radius "
+            f"{self.est_radius:.3g})",
+            f"  cache     : {self.cached_obstacles} obstacles, "
+            f"{self.capsules} capsules -> {temp} "
+            f"(est. {self.est_obstacle_io} obstacle-tree page reads)",
+            f"  config    : {flags}",
+        ]
+        for note in self.notes:
+            lines.append(f"  note      : {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.explain()
+
+
+def _root_mbr(tree: RStarTree) -> Optional[Rect]:
+    return tree.bounds
+
+
+def _nn_radius_estimate(data_tree: Optional[RStarTree], k: int) -> float:
+    """Heuristic k-NN distance: mean point spacing scaled by ``sqrt(k)``.
+
+    Derived from a uniform-density model of the indexed points; only used
+    for plan estimates, never for correctness.
+    """
+    if data_tree is None or data_tree.size == 0:
+        return 0.0
+    mbr = _root_mbr(data_tree)
+    if mbr is None:
+        return 0.0
+    area = max(mbr.area(), 1e-12)
+    spacing = math.sqrt(area / max(data_tree.size, 1))
+    return 2.0 * spacing * math.sqrt(k)
+
+
+def _spines(query: Query) -> List[Segment]:
+    """Retrieval-footprint spines for the coverage check."""
+    if isinstance(query, CoknnQuery):
+        return [query.segment]
+    if isinstance(query, (OnnQuery, RangeQuery)):
+        x, y = query.point
+        return [Segment(x, y, x, y)]
+    if isinstance(query, TrajectoryQuery):
+        out = []
+        for (ax, ay), (bx, by) in zip(query.waypoints, query.waypoints[1:]):
+            seg = Segment(ax, ay, bx, by)
+            if not seg.is_degenerate():
+                out.append(seg)
+        return out
+    return []
+
+
+def _estimate_pages(obstacle_tree: RStarTree, footprint: Optional[Rect],
+                    est_radius: float) -> int:
+    """Footprint-scaled estimate of obstacle-tree pages a cold scan reads."""
+    if obstacle_tree.size == 0:
+        return 0
+    fill = max(int(0.7 * obstacle_tree.max_entries), 1)
+    leaf_pages = max(1, math.ceil(obstacle_tree.size / fill))
+    frac = 1.0
+    root = _root_mbr(obstacle_tree)
+    if footprint is not None and root is not None and root.area() > 0:
+        grown = footprint.expanded(est_radius)
+        frac = min(1.0, max(grown.area(), 1e-12) / root.area())
+    return obstacle_tree.height + max(1, math.ceil(leaf_pages * frac))
+
+
+def build_plan(workspace: "Workspace", query: Query) -> QueryPlan:
+    """Select algorithm + layout and estimate obstacle I/O for ``query``."""
+    if not isinstance(query, Query):
+        raise TypeError(f"expected a Query description, got {type(query)!r}")
+    ws = workspace
+    cfg = query.config if query.config is not None else ws.config
+    k = query.k
+    layout = ws.layout
+    notes: List[str] = []
+
+    if isinstance(query, (SemiJoinQuery, EDistanceJoinQuery,
+                          ClosestPairQuery)):
+        if layout != "2T":
+            raise ValueError(f"{query.kind} needs the 2T layout (a dedicated "
+                             "obstacle tree)")
+        algorithm = query.kind
+        obstacle_tree = ws.obstacle_tree
+        footprint = None
+        # Join retrieval is anchored at one reference point; a full-cache
+        # capsule is the only coverage proof that applies a priori.
+        warm = ws.cache.covered(Segment(0.0, 0.0, 0.0, 0.0), math.inf)
+        est_radius = math.inf
+        est_io = 0 if warm else _estimate_pages(obstacle_tree, None, 0.0)
+        notes.append("pairwise oracle anchored at the first candidate; "
+                     "Euclidean lower bound prunes exact evaluations")
+        return QueryPlan(query, algorithm, layout, k, cfg, footprint,
+                         est_radius, warm, est_io, len(ws.cache),
+                         ws.cache.coverage_regions, tuple(notes))
+
+    if not isinstance(query, (CoknnQuery, OnnQuery, RangeQuery,
+                              TrajectoryQuery)):
+        raise TypeError(f"no plan for query type {type(query).__name__}")
+
+    base = {"conn": "coknn", "coknn": "coknn", "onn": "onn-scan",
+            "range": "range-scan", "trajectory": "trajectory-coknn"}[
+                query.kind]
+    if query.kind == "conn":
+        notes.append("CONN is COkNN with k = 1 (shared engine)")
+
+    opts = ws.planner
+    obstacle_tree = (ws.obstacle_tree if layout == "2T"
+                     else ws.unified_tree)
+    naive = (layout == "2T" and opts.naive_max_points > 0
+             and ws.data_tree.size <= opts.naive_max_points)
+    if naive:
+        algorithm = NAIVE_PRELOAD
+        notes.append(f"dataset is tiny ({ws.data_tree.size} points <= "
+                     f"naive_max_points={opts.naive_max_points}): preload "
+                     "the whole obstacle set, skip incremental retrieval")
+    else:
+        algorithm = f"{base}-{layout.lower()}"
+
+    if isinstance(query, RangeQuery):
+        est_radius = query.radius
+    else:
+        data_tree = ws.data_tree if layout == "2T" else ws.unified_tree
+        est_radius = _nn_radius_estimate(data_tree, k)
+
+    spines = _spines(query)
+    warm = bool(spines) and all(
+        ws.cache.covered(s, est_radius) for s in spines)
+    footprint = query.footprint()
+
+    if warm and layout == "2T":
+        est_io = 0
+    elif isinstance(query, TrajectoryQuery):
+        # Per-leg footprints, not the whole-polyline bbox times leg count:
+        # adjacent legs overlap, and each leg scans only its own region.
+        est_io = sum(
+            _estimate_pages(obstacle_tree, Rect(*s.bbox()), est_radius)
+            for s in spines)
+    else:
+        est_io = _estimate_pages(obstacle_tree, footprint, est_radius)
+    if layout == "1T":
+        notes.append("1T unified scan reads data and obstacle pages "
+                     "together; cache hits cannot skip them")
+
+    return QueryPlan(query, algorithm, layout, k, cfg, footprint, est_radius,
+                     warm, est_io, len(ws.cache), ws.cache.coverage_regions,
+                     tuple(notes))

@@ -1,0 +1,126 @@
+"""Unified result protocol for the declarative query API.
+
+Every value returned by :meth:`Workspace.execute` satisfies one contract —
+the :class:`QueryResult` protocol:
+
+* ``.tuples()`` — the primary answer as a list of tuples (result intervals
+  for continuous queries, ``(payload, distance)`` pairs for point queries,
+  join rows for joins);
+* ``.stats`` — the per-query :class:`~repro.core.stats.QueryStats`;
+* ``.query`` — a back-reference to the submitted query description.
+
+:class:`~repro.core.engine.ConnResult` and
+:class:`~repro.core.trajectory.TrajectoryResult` already satisfy it; this
+module adds the wrappers for answers that used to be bare
+``(list, stats)`` pairs: :class:`NeighborsResult` (ONN / range),
+:class:`JoinResult` (semi-join / e-distance join) and
+:class:`ClosestPairResult`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..core.stats import QueryStats
+from .queries import Query
+
+
+@runtime_checkable
+class QueryResult(Protocol):
+    """The contract every :meth:`Workspace.execute` return value satisfies."""
+
+    stats: QueryStats
+    query: Optional[Query]
+
+    def tuples(self) -> List[tuple]:
+        """The primary answer as a list of tuples."""
+        ...  # pragma: no cover - protocol
+
+
+class _SequenceResult(Sequence):
+    """List-like result carrier: rows plus ``stats`` and ``query``."""
+
+    __slots__ = ("_rows", "stats", "query")
+
+    def __init__(self, rows: List[tuple], stats: QueryStats,
+                 query: Optional[Query] = None):
+        self._rows = list(rows)
+        self.stats = stats
+        self.query = query
+
+    def tuples(self) -> List[tuple]:
+        """The rows as a plain list."""
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __getitem__(self, index):
+        return self._rows[index]
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _SequenceResult):
+            return self._rows == other._rows
+        if isinstance(other, list):
+            return self._rows == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({len(self._rows)} rows)"
+
+
+class NeighborsResult(_SequenceResult):
+    """Answer of an ONN or obstructed-range query.
+
+    Behaves as a sequence of ``(payload, obstructed_distance)`` pairs in
+    ascending distance order, with ``.stats`` and ``.query`` attached.
+    """
+
+    @property
+    def neighbors(self) -> List[Tuple[Any, float]]:
+        """The ``(payload, distance)`` pairs (alias of :meth:`tuples`)."""
+        return list(self._rows)
+
+
+class JoinResult(_SequenceResult):
+    """Answer of an obstructed semi-join or e-distance join.
+
+    A sequence of ``(payload_a, payload_b, distance)`` rows (``payload_b``
+    is ``None`` for unreachable outer points in a semi-join).
+    """
+
+    @property
+    def rows(self) -> List[Tuple[Any, Any, float]]:
+        """The join rows (alias of :meth:`tuples`)."""
+        return list(self._rows)
+
+
+class ClosestPairResult:
+    """Answer of an obstructed closest-pair query."""
+
+    __slots__ = ("pair", "stats", "query")
+
+    def __init__(self, pair: Optional[Tuple[Any, Any, float]],
+                 stats: QueryStats, query: Optional[Query] = None):
+        self.pair = pair
+        self.stats = stats
+        self.query = query
+
+    def tuples(self) -> List[Tuple[Any, Any, float]]:
+        """``[(payload_a, payload_b, distance)]``, or ``[]`` when no pair."""
+        return [self.pair] if self.pair is not None else []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClosestPairResult({self.pair!r})"

@@ -5,11 +5,14 @@ incremental obstacle retrieval (IOR) from zero on every call.  This package
 amortizes that cost across a workload:
 
 * :class:`Workspace` — owns one dataset's indexes (2T or 1T) plus a
-  per-dataset :class:`ObstacleCache`, warmable via ``prefetch``;
+  per-dataset :class:`ObstacleCache`, warmable via ``prefetch``, and the
+  execution target of the declarative API (``plan`` / ``execute`` /
+  ``execute_many`` / ``stream``, see :mod:`repro.query`);
 * :class:`QueryService` — ``conn`` / ``coknn`` / ``onn`` / ``range`` /
-  ``batch`` / ``trajectory`` / join entry points that serve obstacle
-  retrieval rounds from the cache whenever its coverage bookkeeping proves
-  the cached set complete for the requested footprint;
+  ``batch`` / ``trajectory`` / join entry points (shims over
+  ``Workspace.execute``) plus the ``_run_*`` execution backend that serves
+  obstacle retrieval rounds from the cache whenever its coverage
+  bookkeeping proves the cached set complete for the requested footprint;
 * :class:`CachedObstacleView` — the per-query obstacle feed, a drop-in
   sibling of :class:`repro.core.ior.ObstacleRetriever`.
 

@@ -49,6 +49,22 @@ _Capsule = Tuple[float, float, float, float, float]
 """``(ax, ay, bx, by, radius)`` — all obstacles within radius of the spine."""
 
 
+def rect_capsule(rect: Rect, margin: float) -> Tuple[Segment, float]:
+    """The capsule (spine, radius) covering ``rect`` grown by ``margin``.
+
+    Spined along the rectangle's longer axis.  Shared by
+    :meth:`ObstacleCache.prefetch` and the batch executor's covered-check,
+    which must predict exactly which capsule a prefetch would record.
+    """
+    xlo, ylo = rect.xlo - margin, rect.ylo - margin
+    xhi, yhi = rect.xhi + margin, rect.yhi + margin
+    if xhi - xlo >= yhi - ylo:
+        yc = 0.5 * (ylo + yhi)
+        return Segment(xlo, yc, xhi, yc), 0.5 * (yhi - ylo)
+    xc = 0.5 * (xlo + xhi)
+    return Segment(xc, ylo, xc, yhi), 0.5 * (xhi - xlo)
+
+
 def _capsule_contains(cap: _Capsule, qseg: Segment, radius: float) -> bool:
     """Does ``cap`` contain the capsule of radius ``radius`` around ``qseg``?"""
     ax, ay, bx, by, r = cap
@@ -165,6 +181,16 @@ class ObstacleCache:
         """Number of coverage capsules currently recorded."""
         return len(self._capsules)
 
+    @property
+    def capsules(self) -> Tuple[_Capsule, ...]:
+        """The recorded coverage capsules as ``(ax, ay, bx, by, radius)``.
+
+        Ordered oldest to newest; the query planner reads them to estimate
+        obstacle I/O and the batch executor calibrates its prefetch margins
+        from the newest one.
+        """
+        return tuple(self._capsules)
+
     # --------------------------------------------------------------- serving
     def ranked(self, qseg: Segment) -> List[Tuple[float, Obstacle]]:
         """Cached obstacles keyed by ``mindist(MBR, qseg)``, ascending.
@@ -226,16 +252,7 @@ class ObstacleCache:
         Returns:
             Number of obstacles newly inserted.
         """
-        xlo, ylo, xhi, yhi = (rect.xlo - margin, rect.ylo - margin,
-                              rect.xhi + margin, rect.yhi + margin)
-        if xhi - xlo >= yhi - ylo:
-            yc = 0.5 * (ylo + yhi)
-            spine = Segment(xlo, yc, xhi, yc)
-            radius = 0.5 * (yhi - ylo)
-        else:
-            xc = 0.5 * (xlo + xhi)
-            spine = Segment(xc, ylo, xc, yhi)
-            radius = 0.5 * (xhi - xlo)
+        spine, radius = rect_capsule(rect, margin)
         return self.prefetch_segment(spine, radius)
 
     def prefetch_all(self) -> int:

@@ -2,34 +2,40 @@
 
 A workspace owns the indexes of one dataset — the 2T layout's separate data
 and obstacle R*-trees, or the 1T unified tree — plus a per-dataset
-:class:`~repro.service.cache.ObstacleCache`, and hands out a
-:class:`QueryService` whose entry points (``conn``, ``coknn``, ``onn``,
-``range``, ``batch``, ``trajectory``, and the obstructed joins) reuse cached
-obstacles instead of re-running incremental obstacle retrieval from zero.
+:class:`~repro.service.cache.ObstacleCache`, and is the execution target of
+the declarative query API (:mod:`repro.query`):
 
-The free functions of :mod:`repro.core` (``conn``, ``coknn``,
-``conn_single_tree``, ``trajectory_conn``, ...) are thin wrappers over a
-one-shot workspace, so their behavior — results *and* I/O pattern — is the
-cold path of the same machinery.  Build a workspace yourself whenever more
-than one query hits the same dataset::
+* :meth:`Workspace.plan` turns a typed query description into a
+  :class:`~repro.query.planner.QueryPlan` (algorithm + layout selection,
+  capsule-based obstacle-I/O estimate, human-readable ``explain()``);
+* :meth:`Workspace.execute` runs one query, :meth:`Workspace.stream` runs a
+  lazy sequence, and :meth:`Workspace.execute_many` runs a batch reordered
+  by spatial locality with capsule-driven prefetches — results always come
+  back in submission order;
+* the classic convenience methods (``conn``, ``coknn``, ``onn``, ``range``,
+  ``batch``, ``trajectory``, the obstructed joins) and the free functions
+  of :mod:`repro.core` are thin shims over ``execute()``, so the planner is
+  the single code path for every query in the library.
+
+Build a workspace whenever more than one query hits the same dataset::
 
     ws = Workspace.from_trees(data_tree, obstacle_tree)
-    ws.prefetch(region_of_interest, margin=50.0)   # optional warm-up
-    results = ws.batch(queries, k=3)
+    print(ws.plan(CoknnQuery(seg, knn=3)).explain())
+    results = ws.execute_many([CoknnQuery(s) for s in segments])
     print(ws.cache_stats.hit_rate, results[0].stats.obstacle_reads)
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.config import DEFAULT_CONFIG, ConnConfig
 from ..core.conn_1t import UnifiedSource, build_unified_tree
 from ..core.engine import ConnResult, TreeDataSource, run_query
 from ..core.joins import (
-    obstructed_closest_pair,
-    obstructed_e_distance_join,
-    obstructed_semi_join,
+    _closest_pair_impl,
+    _e_distance_join_impl,
+    _semi_join_impl,
 )
 from ..core.onn import PointScan, run_onn_scan
 from ..core.range_query import run_range_scan
@@ -40,6 +46,24 @@ from ..geometry.segment import Segment
 from ..index.rstar import RStarTree
 from ..obstacles.obstacle import Obstacle
 from ..obstacles.visgraph import LocalVisibilityGraph
+from ..query.executor import execute as _execute
+from ..query.executor import execute_many as _execute_many
+from ..query.executor import stream as _stream
+from ..query.planner import DEFAULT_PLANNER, PlannerOptions, QueryPlan, build_plan
+from ..query.queries import (
+    ClosestPairQuery,
+    CoknnQuery,
+    ConnQuery,
+    EDistanceJoinQuery,
+    OnnQuery,
+    Query,
+    RangeQuery,
+    SemiJoinQuery,
+    TrajectoryQuery,
+    as_query_point,
+    as_range_args,
+)
+from ..query.results import QueryResult
 from .cache import CacheStats, ObstacleCache
 
 
@@ -75,13 +99,16 @@ class Workspace:
         overfetch: obstacle-cache scan depth multiplier (see
             :class:`~repro.service.cache.ObstacleCache`); ``1.0`` keeps the
             cold I/O pattern bit-identical to the free functions.
+        planner: :class:`~repro.query.planner.PlannerOptions` — algorithm
+            fallback threshold and batch-scheduler knobs.
     """
 
     def __init__(self, data_tree: Optional[RStarTree] = None,
                  obstacle_tree: Optional[RStarTree] = None,
                  unified_tree: Optional[RStarTree] = None, *,
                  config: ConnConfig = DEFAULT_CONFIG,
-                 overfetch: float = 1.0):
+                 overfetch: float = 1.0,
+                 planner: PlannerOptions = DEFAULT_PLANNER):
         if unified_tree is not None:
             if data_tree is not None or obstacle_tree is not None:
                 raise ValueError("pass either unified_tree or the "
@@ -96,6 +123,7 @@ class Workspace:
         self.obstacle_tree = obstacle_tree
         self.unified_tree = unified_tree
         self.config = config
+        self.planner = planner
         self.cache = ObstacleCache(
             obstacle_tree if obstacle_tree is not None else unified_tree,
             overfetch=overfetch)
@@ -158,53 +186,110 @@ class Workspace:
         """Cumulative obstacle-cache counters across every query so far."""
         return self.cache.stats
 
-    # ------------------------------------------------------------- querying
+    # ------------------------------------------------- declarative interface
     @property
     def service(self) -> "QueryService":
         """The query service bound to this workspace."""
         return self._service
 
+    def plan(self, query: Query) -> QueryPlan:
+        """Plan a typed query: algorithm, layout, estimated obstacle I/O.
+
+        The returned plan renders a human-readable transcript via
+        ``plan.explain()`` and can be passed to :meth:`execute` to run
+        exactly as planned.
+        """
+        return build_plan(self, query)
+
+    def execute(self, query: Query | QueryPlan) -> QueryResult:
+        """Execute one typed query (or a prepared plan).
+
+        Every result satisfies the unified protocol: ``.tuples()``,
+        ``.stats``, and a ``.query`` back-reference to the submission.
+        """
+        return _execute(self, query)
+
+    def execute_many(self, queries: Iterable[Query], *,
+                     schedule: str = "locality") -> List[QueryResult]:
+        """Execute a batch of typed queries, reordered for cache locality.
+
+        With the default ``schedule="locality"`` the executor buckets
+        queries by spatial proximity (grid + Hilbert order) and issues
+        capsule-driven prefetches so cache hits compound across the batch;
+        ``schedule="fifo"`` preserves submission order exactly.  Results
+        are always returned in submission order.
+        """
+        return _execute_many(self, queries, schedule=schedule)
+
+    def stream(self, queries: Iterable[Query]) -> Iterator[QueryResult]:
+        """Lazily execute ``queries`` in submission order as an iterator."""
+        return _stream(self, queries)
+
+    # ------------------------------------------------------ legacy shortcuts
     def conn(self, query: Segment,
              config: Optional[ConnConfig] = None) -> ConnResult:
         """Continuous obstructed NN query (k = 1) on this workspace."""
-        return self._service.conn(query, config=config)
+        return self.execute(ConnQuery(query, config=config))
 
     def coknn(self, query: Segment, k: int = 1,
               config: Optional[ConnConfig] = None) -> ConnResult:
         """Continuous obstructed k-NN query on this workspace."""
-        return self._service.coknn(query, k=k, config=config)
+        return self.execute(CoknnQuery(query, k, config=config))
 
-    def onn(self, x: float, y: float, k: int = 1,
+    def onn(self, x, y: Optional[float] = None, k: int = 1,
             config: Optional[ConnConfig] = None
             ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
-        """Snapshot obstructed k-NN at a point on this workspace."""
-        return self._service.onn(x, y, k=k, config=config)
+        """Snapshot obstructed k-NN at a point on this workspace.
 
-    def range(self, x: float, y: float, radius: float
+        The point may be given as bare floats ``onn(x, y)``, as one tuple
+        ``onn((x, y))``, or as a :class:`~repro.geometry.point.Point`.
+        """
+        res = self.execute(OnnQuery(as_query_point(x, y), k, config=config))
+        return res.tuples(), res.stats
+
+    def range(self, x, y: Optional[float] = None,
+              radius: Optional[float] = None
               ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
-        """Obstructed range query at a point on this workspace."""
-        return self._service.range(x, y, radius)
+        """Obstructed range query at a point on this workspace.
+
+        Accepts ``range(x, y, radius)``, ``range((x, y), radius)``, or
+        ``range(Point(x, y), radius)``.
+        """
+        point, r = as_range_args(x, y, radius)
+        res = self.execute(RangeQuery(point, r))
+        return res.tuples(), res.stats
 
     def batch(self, queries: Sequence[Segment], k: int = 1,
               config: Optional[ConnConfig] = None) -> List[ConnResult]:
-        """Answer a batch of CONN/COkNN queries sharing cached obstacles."""
-        return self._service.batch(queries, k=k, config=config)
+        """Answer CONN/COkNN queries in submission order, sharing the cache.
+
+        The legacy fifo batch; use :meth:`execute_many` for the
+        locality-scheduled planner path.
+        """
+        return self.execute_many(
+            [CoknnQuery(q, k, config=config) for q in queries],
+            schedule="fifo")
 
     def trajectory(self, waypoints: Sequence[Tuple[float, float]], k: int = 1,
                    config: Optional[ConnConfig] = None) -> TrajectoryResult:
         """Trajectory CONN/COkNN; adjacent legs share retrieved obstacles."""
-        return self._service.trajectory(waypoints, k=k, config=config)
+        return self.execute(TrajectoryQuery(tuple(waypoints), k,
+                                            config=config))
 
 
 class QueryService:
     """Query execution over a :class:`Workspace`'s shared obstacle cache.
 
-    Every entry point matches the semantics of the corresponding free
-    function of :mod:`repro.core` exactly — identical owners, split points
-    and distances — while serving obstacle retrieval rounds from the
-    workspace cache whenever a coverage capsule proves the cache complete
-    for the requested footprint.  Per-query cache behavior is reported in
-    ``result.stats`` (``cache_hits`` / ``cache_misses`` / ``cache_served`` /
+    The public entry points are thin shims over the workspace's
+    :meth:`~Workspace.execute` (so the planner stays the single code path);
+    the private ``_run_*`` methods are the execution backend the
+    :mod:`repro.query.executor` dispatches to.  Every entry point matches
+    the semantics of the corresponding free function of :mod:`repro.core`
+    exactly — identical owners, split points and distances — while serving
+    obstacle retrieval rounds from the workspace cache whenever a coverage
+    capsule proves the cache complete for the requested footprint.
+    Per-query cache behavior is reported in ``result.stats``
+    (``cache_hits`` / ``cache_misses`` / ``cache_served`` /
     ``obstacle_reads``).
     """
 
@@ -245,9 +330,15 @@ class QueryService:
     def coknn(self, query: Segment, k: int = 1,
               config: Optional[ConnConfig] = None) -> ConnResult:
         """Continuous obstructed k-NN of every point of ``query``."""
-        if query.is_degenerate():
-            raise ValueError("query segment is degenerate; use onn() for "
-                             "points")
+        return self._ws.execute(CoknnQuery(query, k, config=config))
+
+    def conn(self, query: Segment,
+             config: Optional[ConnConfig] = None) -> ConnResult:
+        """Continuous obstructed nearest-neighbor query (k = 1)."""
+        return self._ws.execute(ConnQuery(query, config=config))
+
+    def _run_coknn(self, query: Segment, k: int,
+                   config: Optional[ConnConfig]) -> ConnResult:
         cfg = self._config(config)
         stats = QueryStats()
         vg = LocalVisibilityGraph(query)
@@ -259,22 +350,21 @@ class QueryService:
         finish()
         return result
 
-    def conn(self, query: Segment,
-             config: Optional[ConnConfig] = None) -> ConnResult:
-        """Continuous obstructed nearest-neighbor query (k = 1)."""
-        return self.coknn(query, k=1, config=config)
-
     # --------------------------------------------------------------- points
-    def onn(self, x: float, y: float, k: int = 1,
+    def onn(self, x, y: Optional[float] = None, k: int = 1,
             config: Optional[ConnConfig] = None
             ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
-        """The ``k`` obstructed nearest neighbors of point ``(x, y)``.
+        """The ``k`` obstructed nearest neighbors of a point.
 
         Works on both layouts (the 1T path routes the unified scan's
-        obstacles straight into the visibility graph).
+        obstacles straight into the visibility graph); accepts bare floats,
+        an ``(x, y)`` tuple, or a :class:`~repro.geometry.point.Point`.
         """
-        if k < 1:
-            raise ValueError("k must be at least 1")
+        return self._ws.onn(x, y, k=k, config=config)
+
+    def _run_onn(self, x: float, y: float, k: int,
+                 config: Optional[ConnConfig]
+                 ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
         cfg = self._config(config)
         stats = QueryStats()
         anchor = Segment(x, y, x, y)
@@ -286,11 +376,14 @@ class QueryService:
         finish()
         return neighbors, stats
 
-    def range(self, x: float, y: float, radius: float
+    def range(self, x, y: Optional[float] = None,
+              radius: Optional[float] = None
               ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
-        """All points within obstructed distance ``radius`` of ``(x, y)``."""
-        if radius < 0:
-            raise ValueError("radius must be non-negative")
+        """All points within obstructed distance ``radius`` of a point."""
+        return self._ws.range(x, y, radius)
+
+    def _run_range(self, x: float, y: float, radius: float
+                   ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
         stats = QueryStats()
         anchor = Segment(x, y, x, y)
         vg = LocalVisibilityGraph(anchor)
@@ -305,7 +398,7 @@ class QueryService:
     def batch(self, queries: Sequence[Segment], k: int = 1,
               config: Optional[ConnConfig] = None) -> List[ConnResult]:
         """Answer many CONN/COkNN queries; later ones reuse cached obstacles."""
-        return [self.coknn(q, k=k, config=config) for q in queries]
+        return self._ws.batch(queries, k=k, config=config)
 
     def trajectory(self, waypoints: Sequence[Tuple[float, float]],
                    k: int = 1,
@@ -318,43 +411,54 @@ class QueryService:
         overlap around the common waypoint — stop re-reading the obstacle
         tree for obstacles the previous leg already fetched.
         """
-        if len(waypoints) < 2:
-            raise ValueError("a trajectory needs at least two waypoints")
+        return self._ws.trajectory(waypoints, k=k, config=config)
+
+    def _run_trajectory(self, waypoints: Sequence[Tuple[float, float]],
+                        k: int, config: Optional[ConnConfig]
+                        ) -> TrajectoryResult:
         legs: List[ConnResult] = []
         for (ax, ay), (bx, by) in zip(waypoints, waypoints[1:]):
             seg = Segment(float(ax), float(ay), float(bx), float(by))
             if seg.is_degenerate():
                 continue
-            legs.append(self.coknn(seg, k=k, config=config))
+            legs.append(self._run_coknn(seg, k, config))
         if not legs:
             raise ValueError("trajectory has no leg of positive length")
         return TrajectoryResult(waypoints, legs, k)
 
     # ----------------------------------------------------------------- joins
-    def _require_2t(self, what: str) -> RStarTree:
-        if self._ws.layout != "2T":
-            raise ValueError(f"{what} needs the 2T layout (a dedicated "
-                             "obstacle tree)")
-        return self._ws.obstacle_tree
-
     def e_distance_join(self, tree_a: RStarTree, tree_b: RStarTree,
                         e: float) -> Tuple[List[Tuple[Any, Any, float]],
                                            QueryStats]:
         """All cross pairs within obstructed distance ``e`` (shared cache)."""
-        obstacle_tree = self._require_2t("e_distance_join")
-        return obstructed_e_distance_join(tree_a, tree_b, obstacle_tree, e,
-                                          cache=self._ws.cache)
+        res = self._ws.execute(EDistanceJoinQuery(tree_a, tree_b, e))
+        return res.tuples(), res.stats
+
+    def _run_e_distance_join(self, tree_a: RStarTree, tree_b: RStarTree,
+                             e: float) -> Tuple[List[Tuple[Any, Any, float]],
+                                                QueryStats]:
+        return _e_distance_join_impl(tree_a, tree_b, self._ws.obstacle_tree,
+                                     e, cache=self._ws.cache)
 
     def closest_pair(self, tree_a: RStarTree, tree_b: RStarTree
                      ) -> Tuple[Optional[Tuple[Any, Any, float]], QueryStats]:
         """The cross-set pair with the smallest obstructed distance."""
-        obstacle_tree = self._require_2t("closest_pair")
-        return obstructed_closest_pair(tree_a, tree_b, obstacle_tree,
-                                       cache=self._ws.cache)
+        res = self._ws.execute(ClosestPairQuery(tree_a, tree_b))
+        return res.pair, res.stats
+
+    def _run_closest_pair(self, tree_a: RStarTree, tree_b: RStarTree
+                          ) -> Tuple[Optional[Tuple[Any, Any, float]],
+                                     QueryStats]:
+        return _closest_pair_impl(tree_a, tree_b, self._ws.obstacle_tree,
+                                  cache=self._ws.cache)
 
     def semi_join(self, tree_a: RStarTree, tree_b: RStarTree
                   ) -> Tuple[List[Tuple[Any, Any, float]], QueryStats]:
         """For each point of ``tree_a``: its obstructed NN in ``tree_b``."""
-        obstacle_tree = self._require_2t("semi_join")
-        return obstructed_semi_join(tree_a, tree_b, obstacle_tree,
-                                    cache=self._ws.cache)
+        res = self._ws.execute(SemiJoinQuery(tree_a, tree_b))
+        return res.tuples(), res.stats
+
+    def _run_semi_join(self, tree_a: RStarTree, tree_b: RStarTree
+                       ) -> Tuple[List[Tuple[Any, Any, float]], QueryStats]:
+        return _semi_join_impl(tree_a, tree_b, self._ws.obstacle_tree,
+                               cache=self._ws.cache)
