@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Incremental monitor maintenance vs recompute-per-update.
+
+A fleet of continuous queries (CONN segments and ONN points spread over a
+city) is kept fresh while a *clustered* update workload mutates one
+neighborhood: sites appear and disappear, obstacles go up and come down,
+all near one hot spot.  Two maintenance strategies answer the same
+question — "what is every monitor's result after every update?":
+
+* **recompute** — the pre-monitor regime: after each update every
+  registered query re-runs from scratch (cold cache), paying the full
+  obstacle-tree scan each time;
+* **incremental** — the :mod:`repro.monitor` regime: each update flows
+  through the affected-test, so monitors outside the hot neighborhood are
+  dismissed without any index work, and affected segment monitors re-run
+  the engine only on the affected split-point intervals, against a cache
+  maintained surgically by the update path.
+
+Both strategies must produce identical standing results; the benchmark
+reports obstacle-tree page reads, maintenance actions, and wall time, and
+exits non-zero if the incremental path fails to read measurably fewer
+obstacle pages (the guard CI runs).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_updates.py
+    PYTHONPATH=src python benchmarks/bench_updates.py --updates 40 --monitors 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro import (
+    ConnQuery,
+    OnnQuery,
+    RectObstacle,
+    Segment,
+    Workspace,
+)
+from repro.service.updates import (
+    AddObstacle,
+    AddSite,
+    RemoveObstacle,
+    RemoveSite,
+    Update,
+)
+
+
+def build_scene(args) -> tuple:
+    """A building lattice plus scattered reachable data points."""
+    rng = random.Random(args.seed)
+    side = args.obstacle_side
+    step = (100.0 - 6.0) / side
+    obstacles = [RectObstacle(3 + step * gx, 3 + step * gy,
+                              3 + step * gx + 0.4 * step,
+                              3 + step * gy + 0.3 * step)
+                 for gx in range(side) for gy in range(side)]
+    points = []
+    while len(points) < args.points:
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        if not any(o.contains_interior(x, y) for o in obstacles):
+            points.append((len(points), (x, y)))
+    return points, obstacles
+
+
+def monitor_queries(args) -> List:
+    """CONN segments and ONN points spread evenly over the city."""
+    rng = random.Random(args.seed + 1)
+    queries = []
+    for i in range(args.monitors):
+        ax, ay = rng.uniform(10, 90), rng.uniform(10, 90)
+        if i % 2 == 0:
+            bx = min(95.0, ax + rng.uniform(8, 15))
+            by = min(95.0, ay + rng.uniform(-6, 6))
+            queries.append(ConnQuery(Segment(ax, ay, bx, by),
+                                     label=f"conn-{i}"))
+        else:
+            queries.append(OnnQuery((ax, ay), knn=args.k,
+                                    label=f"onn-{i}"))
+    return queries
+
+
+def clustered_updates(args, points, obstacles) -> List[Update]:
+    """Updates concentrated around one hot spot (a construction site)."""
+    rng = random.Random(args.seed + 2)
+    hx, hy = rng.uniform(25, 75), rng.uniform(25, 75)
+    r = args.cluster_radius
+    updates: List[Update] = []
+    live_sites: List[Tuple[int, Tuple[float, float]]] = []
+    live_obs: List[RectObstacle] = []
+    next_id = len(points)
+    for _ in range(args.updates):
+        roll = rng.random()
+        if roll < 0.4:
+            x, y = hx + rng.uniform(-r, r), hy + rng.uniform(-r, r)
+            if any(o.contains_interior(x, y) for o in obstacles):
+                x = y = None
+            if x is None:
+                continue
+            updates.append(AddSite(next_id, x, y))
+            live_sites.append((next_id, (x, y)))
+            next_id += 1
+        elif roll < 0.55 and live_sites:
+            pid, (x, y) = live_sites.pop(rng.randrange(len(live_sites)))
+            updates.append(RemoveSite(pid, x, y))
+        elif roll < 0.85:
+            x, y = hx + rng.uniform(-r, r), hy + rng.uniform(-r, r)
+            obs = RectObstacle(x, y, x + rng.uniform(0.5, 2.5),
+                               y + rng.uniform(0.5, 2.0))
+            updates.append(AddObstacle(obs))
+            live_obs.append(obs)
+        elif live_obs:
+            updates.append(RemoveObstacle(
+                live_obs.pop(rng.randrange(len(live_obs)))))
+    return updates
+
+
+def snapshot_results(results) -> list:
+    """Comparable view of standing answers (owners + rounded geometry)."""
+    out = []
+    for res in results:
+        rows = res.tuples()
+        if rows and isinstance(rows[0][1], tuple):  # interval results
+            out.append([(owner, round(lo, 6), round(hi, 6))
+                        for owner, (lo, hi) in rows])
+        else:  # (payload, distance) results
+            out.append([(payload, round(dist, 6)) for payload, dist in rows])
+    return out
+
+
+def run_recompute(args, queries, updates) -> dict:
+    points, obstacles = build_scene(args)
+    ws = Workspace.from_points(points, obstacles, page_size=args.page_size)
+    for q in queries:
+        ws.execute(q)
+    snap = ws.obstacle_tree.tracker.stats.snapshot()
+    started = time.perf_counter()
+    results = [ws.execute(q) for q in queries]
+    for u in updates:
+        ws.apply([u])
+        # The pre-monitor regime: every standing query recomputed cold.
+        ws.cache.invalidate()
+        results = [ws.execute(q) for q in queries]
+    wall = time.perf_counter() - started
+    reads = ws.obstacle_tree.tracker.stats.delta(snap).logical_reads
+    return {"label": "recompute", "reads": reads, "wall_s": wall,
+            "answers": snapshot_results(results)}
+
+
+def run_incremental(args, queries, updates) -> dict:
+    points, obstacles = build_scene(args)
+    ws = Workspace.from_points(points, obstacles, page_size=args.page_size)
+    monitors = [ws.monitors.register(q) for q in queries]
+    snap = ws.obstacle_tree.tracker.stats.snapshot()
+    started = time.perf_counter()
+    ws.apply(updates)
+    wall = time.perf_counter() - started
+    reads = ws.obstacle_tree.tracker.stats.delta(snap).logical_reads
+    stats = ws.monitors.stats
+    return {"label": "incremental", "reads": reads, "wall_s": wall,
+            "answers": snapshot_results([m.result for m in monitors]),
+            "noops": stats.noops, "repairs": stats.repairs,
+            "reruns": stats.reruns, "noop_rate": stats.noop_rate}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Incremental monitor maintenance vs recompute-per-update.")
+    parser.add_argument("--points", type=int, default=60)
+    parser.add_argument("--obstacle-side", type=int, default=8,
+                        help="buildings per axis (side^2 obstacles)")
+    parser.add_argument("--monitors", type=int, default=6)
+    parser.add_argument("--updates", type=int, default=12)
+    parser.add_argument("--cluster-radius", type=float, default=6.0,
+                        help="radius of the hot update neighborhood")
+    parser.add_argument("--k", type=int, default=2)
+    parser.add_argument("--page-size", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    points, obstacles = build_scene(args)
+    queries = monitor_queries(args)
+    updates = clustered_updates(args, points, obstacles)
+
+    rec = run_recompute(args, queries, updates)
+    inc = run_incremental(args, queries, updates)
+
+    print(f"Update maintenance — {len(queries)} monitors, "
+          f"{len(updates)} clustered updates "
+          f"(radius {args.cluster_radius:g})")
+    print(f"  {'strategy':>12}  {'obstacle reads':>14}  {'wall s':>8}")
+    for run in (rec, inc):
+        print(f"  {run['label']:>12}  {run['reads']:>14}  "
+              f"{run['wall_s']:>8.3f}")
+    print(f"\n  incremental actions: {inc['noops']} no-ops, "
+          f"{inc['repairs']} span repairs, {inc['reruns']} reruns "
+          f"({100.0 * inc['noop_rate']:.0f}% dismissed without index work)")
+
+    def floats_differ(x: float, y: float, tol: float = 1e-5) -> bool:
+        if np.isfinite(x) != np.isfinite(y):
+            return True
+        return bool(np.isfinite(x)) and abs(x - y) > tol
+
+    mismatches = 0
+    for a, b in zip(rec["answers"], inc["answers"]):
+        if len(a) != len(b):
+            mismatches += 1
+            continue
+        for ra, rb in zip(a, b):
+            if ra[0] != rb[0] or any(floats_differ(x, y)
+                                     for x, y in zip(ra[1:], rb[1:])):
+                mismatches += 1
+                break
+    if mismatches:
+        print(f"\nERROR: strategies disagree on {mismatches} monitor(s)")
+        return 1
+    saved = rec["reads"] - inc["reads"]
+    if saved <= 0:
+        print(f"\nERROR: incremental maintenance saved no obstacle reads "
+              f"({inc['reads']} vs {rec['reads']})")
+        return 1
+    pct = 100.0 * saved / max(rec["reads"], 1)
+    print(f"\n  identical standing results; incremental maintenance reads "
+          f"{saved} fewer obstacle pages ({pct:.0f}% saved)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

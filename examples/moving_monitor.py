@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""A live dispatch board: continuous queries under a changing city.
+
+A delivery service watches two standing questions — "who is the nearest
+courier anywhere along the High-Street corridor?" (a CONN monitor) and
+"which couriers are within 25 m travel distance of the depot?" (a range
+monitor) — while the city changes underneath: couriers clock in and out,
+a road closure goes up, then comes down again.
+
+Every change is applied through ``Workspace.apply``, which keeps the
+obstacle indexes, the cross-query obstacle cache, *and* every registered
+monitor consistent in one step.  The monitors repair themselves
+incrementally — changes outside their influence region are dismissed as
+no-ops, segment monitors re-run the engine only on the affected
+split-point intervals — and report what changed through callbacks.
+
+Run:  python examples/moving_monitor.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AddObstacle,
+    AddSite,
+    ConnQuery,
+    RangeQuery,
+    RectObstacle,
+    RemoveObstacle,
+    RemoveSite,
+    Segment,
+    Workspace,
+)
+
+DEPOT = (12.0, 40.0)
+HIGH_STREET = Segment(10.0, 20.0, 90.0, 20.0)
+
+COURIERS = [
+    ("ana", (20.0, 30.0)),
+    ("bo", (55.0, 35.0)),
+    ("cy", (80.0, 28.0)),
+    ("dee", (18.0, 52.0)),
+]
+
+BUILDINGS = [
+    RectObstacle(30.0, 22.0, 44.0, 32.0),   # the mall, south face on High St
+    RectObstacle(60.0, 24.0, 72.0, 34.0),   # offices
+    RectObstacle(8.0, 44.0, 16.0, 50.0),    # warehouse next to the depot
+]
+
+
+def describe(event) -> None:
+    """Print one maintenance step the way a dispatcher would read it."""
+    q = event.monitor.query
+    name = q.label or q.kind
+    line = f"  [{name:>11}] {event.update.kind:<15} -> {event.action}"
+    if event.spans:
+        spans = ", ".join(f"[{lo:.0f}, {hi:.0f}]" for lo, hi in event.spans)
+        line += f" on {spans}"
+    print(line)
+    delta = event.delta
+    for lo, hi, old, new in delta.intervals:
+        print(f"        {lo:6.1f}..{hi:6.1f}: {old} -> {new}")
+    for payload, dist in delta.added:
+        print(f"        + {payload} at travel distance {dist:.1f}")
+    for payload, _dist in delta.removed:
+        print(f"        - {payload} no longer in reach")
+    for payload, dist in delta.changed:
+        print(f"        ~ {payload} now at travel distance {dist:.1f}")
+
+
+def main() -> None:
+    ws = Workspace.from_points(COURIERS, BUILDINGS)
+    monitors = ws.monitors
+    conn = monitors.register(
+        ConnQuery(HIGH_STREET, label="high-street"), callback=describe)
+    near_depot = monitors.register(
+        RangeQuery(DEPOT, 25.0, label="near-depot"), callback=describe)
+
+    print("Standing results at opening time")
+    print("  nearest courier along High Street:")
+    for owner, (lo, hi) in conn.result.tuples():
+        print(f"    {lo:6.1f}..{hi:6.1f}: {owner}")
+    print("  couriers within 25 m travel of the depot: "
+          f"{[p for p, _d in near_depot.result.tuples()]}")
+
+    print("\n09:10  eli clocks in near the east end of High Street")
+    ws.apply([AddSite("eli", 85.0, 24.0)])
+
+    print("\n09:25  road closure: scaffolding goes up mid-corridor")
+    scaffolding = RectObstacle(48.0, 16.0, 52.0, 26.0)
+    ws.apply([AddObstacle(scaffolding)])
+
+    print("\n09:40  ana clocks out, fay clocks in by the depot")
+    ws.apply([RemoveSite("ana", 20.0, 30.0), AddSite("fay", 14.0, 36.0)])
+
+    print("\n11:00  scaffolding comes down")
+    ws.apply([RemoveObstacle(scaffolding)])
+
+    print("\nStanding results at the end of the shift")
+    for owner, (lo, hi) in conn.result.tuples():
+        print(f"    {lo:6.1f}..{hi:6.1f}: {owner}")
+    print("  couriers within 25 m travel of the depot: "
+          f"{[p for p, _d in near_depot.result.tuples()]}")
+
+    stats = monitors.stats
+    print(f"\nmaintenance: {stats.updates} updates fanned out, "
+          f"{stats.noops} no-ops, {stats.repairs} span repairs, "
+          f"{stats.reruns} full reruns "
+          f"({100.0 * stats.noop_rate:.0f}% dismissed without index work); "
+          f"cache: {ws.cache.stats.patched} patched, "
+          f"{ws.cache.stats.evicted} evicted, "
+          f"{ws.cache.stats.invalidations} invalidations")
+
+
+if __name__ == "__main__":
+    main()

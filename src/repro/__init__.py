@@ -76,11 +76,22 @@ from .query import (
     SemiJoinQuery,
     TrajectoryQuery,
 )
+from .monitor import (
+    Monitor,
+    MonitorEvent,
+    MonitorRegistry,
+    ResultDelta,
+)
 from .service import (
+    AddObstacle,
+    AddSite,
     CachedObstacleView,
     CacheStats,
+    Capsule,
     ObstacleCache,
     QueryService,
+    RemoveObstacle,
+    RemoveSite,
     Workspace,
 )
 from .obstacles import (
@@ -95,10 +106,13 @@ from .obstacles import (
     visible_region,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "AddObstacle",
+    "AddSite",
     "CacheStats",
+    "Capsule",
     "CachedObstacleView",
     "ClosestPairQuery",
     "ClosestPairResult",
@@ -114,6 +128,9 @@ __all__ = [
     "JoinResult",
     "LRUBuffer",
     "LocalVisibilityGraph",
+    "Monitor",
+    "MonitorEvent",
+    "MonitorRegistry",
     "NeighborsResult",
     "Obstacle",
     "ObstacleCache",
@@ -133,6 +150,9 @@ __all__ = [
     "RangeQuery",
     "Rect",
     "RectObstacle",
+    "RemoveObstacle",
+    "RemoveSite",
+    "ResultDelta",
     "Segment",
     "SegmentObstacle",
     "SemiJoinQuery",

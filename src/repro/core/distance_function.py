@@ -220,6 +220,53 @@ class PiecewiseDistance:
                 out.append((key, (p.lo, p.hi)))
         return out
 
+    def replace_span(self, lo: float, hi: float,
+                     other: "PiecewiseDistance") -> "PiecewiseDistance":
+        """Splice ``other`` over the parameter span ``[lo, hi]``.
+
+        ``other`` must be a piecewise distance over the collinear
+        sub-segment of ``self.qseg`` running from ``point_at(lo)`` to
+        ``point_at(hi)`` — its pieces are parameterized from 0 and are
+        shifted by ``lo`` into this function's parameterization.  Because
+        control points live in world coordinates and the sub-segment shares
+        the parent's direction, the shifted pieces evaluate identically.
+
+        This is the primitive behind the continuous-monitor layer's local
+        repair: re-run the engine on the affected span only, splice the
+        fresh answer over the old one, keep everything else untouched.
+        """
+        ln = self.qseg.length
+        lo = max(0.0, min(lo, ln))
+        hi = max(lo, min(hi, ln))
+        if abs((hi - lo) - other.qseg.length) > 1e-6:
+            raise ValueError(
+                f"replacement spans {other.qseg.length:g} but the span is "
+                f"{hi - lo:g} long")
+        pieces: List[Piece] = []
+        for p in self.pieces:
+            if p.hi <= lo + MERGE_EPS:
+                _append(pieces, p)
+            elif p.lo < lo - MERGE_EPS:
+                _append(pieces, p.clipped(p.lo, lo))
+        mid = [Piece(lo + p.lo, lo + p.hi, p.cp, p.base, p.owner)
+               for p in other.pieces]
+        if mid:
+            # Pin the outer boundaries exactly to the span: the sub-segment's
+            # length may drift from ``hi - lo`` by float rounding, and a gap
+            # wider than the merge tolerance would break the partition.
+            mid[0] = Piece(lo, mid[0].hi, mid[0].cp, mid[0].base,
+                           mid[0].owner)
+            mid[-1] = Piece(mid[-1].lo, hi, mid[-1].cp, mid[-1].base,
+                            mid[-1].owner)
+        for p in mid:
+            _append(pieces, p)
+        for p in self.pieces:
+            if p.lo >= hi - MERGE_EPS:
+                _append(pieces, p.clipped(max(p.lo, hi), p.hi))
+            elif p.hi > hi + MERGE_EPS:
+                _append(pieces, p.clipped(hi, p.hi))
+        return PiecewiseDistance(self.qseg, pieces)
+
     def assert_partition(self) -> None:
         """Test hook: pieces must exactly partition ``[0, length]`` in order."""
         assert self.pieces, "no pieces"

@@ -58,6 +58,12 @@ class RStarTree:
         self.tracker = tracker if tracker is not None else PageTracker()
         self.root = Node(level=0, page_id=self.tracker.allocate())
         self.size = 0
+        self.version = 0
+        """Mutation counter: bumped by every :meth:`insert` and successful
+        :meth:`delete`.  Derived structures (the service layer's
+        ``ObstacleCache``, prepared query plans) compare it against the
+        value they were built at to detect that the indexed set changed
+        underneath them."""
         self._reinserted_levels: set[int] = set()
 
     # ------------------------------------------------------------ public API
@@ -68,6 +74,7 @@ class RStarTree:
         self._reinserted_levels.clear()
         self._insert_entry(Entry(rect, payload), level=0)
         self.size += 1
+        self.version += 1
 
     def insert_point(self, payload: Any, x: float, y: float) -> None:
         """Insert a point item (degenerate MBR)."""
@@ -86,6 +93,7 @@ class RStarTree:
         leaf = path[-1]
         del leaf.entries[index]
         self.size -= 1
+        self.version += 1
         self._condense(path)
         return True
 

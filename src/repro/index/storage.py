@@ -209,5 +209,6 @@ def load_tree(path: str | Path) -> RStarTree:
     tree.tracker = tracker
     tree.root = nodes[root_page]
     tree.size = size
+    tree.version = 0
     tree._reinserted_levels = set()
     return tree

@@ -1,0 +1,50 @@
+"""Continuous-query monitors: registered queries kept fresh under updates.
+
+The paper's queries are *continuous* in the query parameter; this package
+makes them continuous in *time* as well.  A client registers a typed query
+(:class:`~repro.query.queries.ConnQuery` / ``CoknnQuery`` / ``OnnQuery`` /
+``RangeQuery``) with a workspace's :class:`MonitorRegistry`; every update
+applied through :meth:`Workspace.apply` (or the ``add_site`` /
+``remove_site`` / ``add_obstacle`` / ``remove_obstacle`` shorthands) then
+flows to each registered monitor, which repairs its standing result
+*incrementally*:
+
+1. an **affected-test** compares the update's footprint against the
+   monitor's recorded influence region (the k-th-level distance envelope
+   for segment queries, the k-th neighbor distance for point queries, the
+   query radius for range queries) — updates that provably cannot change
+   the answer are dismissed as no-ops without touching any index;
+2. a segment monitor whose answer *may* change computes the affected
+   split-point intervals piece by piece and re-runs the engine on those
+   sub-segments only, splicing the fresh piecewise functions over the old
+   ones (:meth:`~repro.core.distance_function.PiecewiseDistance.replace_span`);
+3. only when the affected span covers most of the query (or the query is a
+   point query, which costs one cheap cache-warm scan) does the monitor
+   fall back to a full re-run.
+
+Each maintenance step emits a :class:`MonitorEvent` carrying the action
+taken and the **result delta** (changed intervals / added / removed
+neighbors), delivered to the monitor's callback and kept on
+``monitor.events``.
+"""
+
+from .monitor import (
+    NO_OP,
+    REPAIR,
+    RERUN,
+    Monitor,
+    MonitorEvent,
+    ResultDelta,
+)
+from .registry import MaintenanceStats, MonitorRegistry
+
+__all__ = [
+    "MaintenanceStats",
+    "Monitor",
+    "MonitorEvent",
+    "MonitorRegistry",
+    "NO_OP",
+    "REPAIR",
+    "RERUN",
+    "ResultDelta",
+]

@@ -1,0 +1,112 @@
+"""The per-workspace monitor registry and its maintenance counters."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional
+
+from ..query.queries import Query
+from ..service.updates import Update
+from .monitor import NO_OP, REPAIR, Monitor, MonitorEvent, monitor_for
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..service.workspace import Workspace
+
+
+@dataclass
+class MaintenanceStats:
+    """Cumulative maintenance counters across every monitor of a registry."""
+
+    updates: int = 0
+    """Updates fanned out to monitors."""
+
+    noops: int = 0
+    """Monitor refreshes dismissed by the affected-test."""
+
+    repairs: int = 0
+    """Refreshes answered by span-local repair."""
+
+    reruns: int = 0
+    """Refreshes that re-ran the full query."""
+
+    deltas: int = 0
+    """Refreshes whose answer actually changed."""
+
+    @property
+    def noop_rate(self) -> float:
+        """Fraction of monitor refreshes dismissed without any index work."""
+        total = self.noops + self.repairs + self.reruns
+        return self.noops / total if total else 0.0
+
+
+class MonitorRegistry:
+    """Registered continuous queries of one workspace.
+
+    Obtained via :attr:`Workspace.monitors`; :meth:`register` runs the
+    query once and keeps its result fresh under every subsequent
+    :meth:`Workspace.apply` — the workspace calls :meth:`notify` for each
+    applied update, which fans it out to every active monitor.
+    """
+
+    def __init__(self, workspace: "Workspace"):
+        self._ws = workspace
+        self._monitors: Dict[int, Monitor] = {}
+        self._ids = itertools.count(1)
+        self.stats = MaintenanceStats()
+
+    def register(self, query: Query,
+                 callback: Optional[Callable[[MonitorEvent], None]] = None
+                 ) -> Monitor:
+        """Register ``query`` for continuous maintenance.
+
+        The query runs once immediately (through the workspace's planner
+        and obstacle cache); the returned :class:`Monitor` exposes the
+        standing ``result``, the event log, and the registration handle.
+
+        Args:
+            query: a ``ConnQuery`` / ``CoknnQuery`` / ``OnnQuery`` /
+                ``RangeQuery`` description.
+            callback: optional ``callable(event)`` invoked after each
+                maintenance step, including no-ops.
+        """
+        monitor = monitor_for(self._ws, next(self._ids), query, callback)
+        self._monitors[monitor.id] = monitor
+        return monitor
+
+    def unregister(self, monitor: Monitor | int) -> bool:
+        """Stop maintaining a monitor; True when it was registered."""
+        mid = monitor.id if isinstance(monitor, Monitor) else monitor
+        found = self._monitors.pop(mid, None)
+        if found is None:
+            return False
+        found.active = False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._monitors)
+
+    def __iter__(self) -> Iterator[Monitor]:
+        return iter(self._monitors.values())
+
+    # ------------------------------------------------------------- fan-out
+    def notify(self, update: Update) -> List[MonitorEvent]:
+        """Fan one applied update out to every monitor (workspace hook)."""
+        self.stats.updates += 1
+        events: List[MonitorEvent] = []
+        for monitor in list(self._monitors.values()):
+            if not monitor.active:
+                # Unregistered mid-fan-out (by an earlier monitor's
+                # callback): skip the refresh and its callback entirely.
+                continue
+            event = monitor.refresh(update)
+            if event.action == NO_OP:
+                self.stats.noops += 1
+            elif event.action == REPAIR:
+                self.stats.repairs += 1
+            else:
+                self.stats.reruns += 1
+            if not event.delta.empty:
+                self.stats.deltas += 1
+            events.append(event)
+        return events

@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Tuple
 
 from ..geometry.rectangle import Rect
 from ..geometry.segment import Segment
-from .planner import NAIVE_PRELOAD, QueryPlan, build_plan
+from .planner import NAIVE_PRELOAD, QueryPlan, build_plan, tree_versions
 from .queries import (
     ClosestPairQuery,
     CoknnQuery,
@@ -50,9 +50,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 def execute(workspace: "Workspace", query) -> QueryResult:
-    """Run one query (or a prepared plan) and return its unified result."""
-    plan = query if isinstance(query, QueryPlan) else build_plan(workspace,
-                                                                 query)
+    """Run one query (or a prepared plan) and return its unified result.
+
+    A prepared plan is version-checked against the workspace *and* its
+    backing trees: when updates were applied after planning — through the
+    workspace or directly on a tree — the plan is rebuilt from its query.
+    Its algorithm choice and estimates describe a dataset that no longer
+    exists, and executing it blindly could (e.g.) preload an obstacle set
+    that has grown far past the naive threshold.
+    """
+    if isinstance(query, QueryPlan):
+        plan = query
+        if (plan.workspace_version != workspace.version
+                or plan.tree_versions != tree_versions(workspace)):
+            plan = build_plan(workspace, plan.query)
+    else:
+        plan = build_plan(workspace, query)
     return _run_plan(workspace, plan)
 
 
@@ -214,7 +227,7 @@ def _execute_bucket(ws: "Workspace", qs: List[Query], bucket: List[int],
         # record_coverage may replace superseded capsules, so compare the
         # newest capsule itself, not the count.
         if capsules and (not before or capsules[-1] != before[-1]):
-            observed = capsules[-1][4]
+            observed = capsules[-1].radius
         else:  # lead was a pure cache hit; fall back to the plan estimate
             observed = plan.est_radius
         margin = observed * ws.planner.prefetch_margin_factor

@@ -101,6 +101,15 @@ class QueryPlan:
     cached_obstacles: int
     capsules: int
     notes: Tuple[str, ...] = field(default_factory=tuple)
+    workspace_version: int = 0
+    """The :attr:`Workspace.version` this plan was built at.  The executor
+    re-plans automatically when the workspace has been mutated since — a
+    stale plan's algorithm choice and estimates describe a dataset that no
+    longer exists."""
+    tree_versions: Tuple[int, ...] = ()
+    """Mutation counters of the workspace's backing trees at plan time.
+    Catches mutations applied to a tree directly (bypassing the workspace),
+    which leave ``workspace_version`` untouched."""
 
     def explain(self) -> str:
         """Human-readable plan transcript (the declarative ``EXPLAIN``)."""
@@ -138,6 +147,13 @@ class QueryPlan:
 
 def _root_mbr(tree: RStarTree) -> Optional[Rect]:
     return tree.bounds
+
+
+def tree_versions(workspace: "Workspace") -> Tuple[int, ...]:
+    """Current mutation counters of the workspace's backing trees."""
+    if workspace.layout == "2T":
+        return (workspace.data_tree.version, workspace.obstacle_tree.version)
+    return (workspace.unified_tree.version,)
 
 
 def _nn_radius_estimate(data_tree: Optional[RStarTree], k: int) -> float:
@@ -215,7 +231,9 @@ def build_plan(workspace: "Workspace", query: Query) -> QueryPlan:
                      "Euclidean lower bound prunes exact evaluations")
         return QueryPlan(query, algorithm, layout, k, cfg, footprint,
                          est_radius, warm, est_io, len(ws.cache),
-                         ws.cache.coverage_regions, tuple(notes))
+                         ws.cache.coverage_regions, tuple(notes),
+                         workspace_version=ws.version,
+                         tree_versions=tree_versions(ws))
 
     if not isinstance(query, (CoknnQuery, OnnQuery, RangeQuery,
                               TrajectoryQuery)):
@@ -267,4 +285,5 @@ def build_plan(workspace: "Workspace", query: Query) -> QueryPlan:
 
     return QueryPlan(query, algorithm, layout, k, cfg, footprint, est_radius,
                      warm, est_io, len(ws.cache), ws.cache.coverage_regions,
-                     tuple(notes))
+                     tuple(notes), workspace_version=ws.version,
+                     tree_versions=tree_versions(ws))

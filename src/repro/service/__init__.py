@@ -20,13 +20,26 @@ The free functions ``repro.conn`` / ``repro.coknn`` / ... are thin wrappers
 over a one-shot workspace, so the cold path and the classic API coincide.
 """
 
-from .cache import CachedObstacleView, CacheStats, ObstacleCache
+from .cache import CachedObstacleView, CacheStats, Capsule, ObstacleCache
+from .updates import (
+    AddObstacle,
+    AddSite,
+    RemoveObstacle,
+    RemoveSite,
+    Update,
+)
 from .workspace import QueryService, Workspace
 
 __all__ = [
+    "AddObstacle",
+    "AddSite",
     "CachedObstacleView",
     "CacheStats",
+    "Capsule",
     "ObstacleCache",
     "QueryService",
+    "RemoveObstacle",
+    "RemoveSite",
+    "Update",
     "Workspace",
 ]

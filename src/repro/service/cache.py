@@ -27,6 +27,21 @@ round needs; the extra obstacles enter the cache only (never the current
 query's visibility graph, keeping per-query results and NOE bit-identical
 to the cold algorithm), so nearby follow-up queries land inside the wider
 capsule.
+
+Staleness under index mutations.  A capsule is a statement about the
+*dataset*, so any mutation of the obstacle tree can silently falsify it.
+The cache therefore records the tree's mutation counter
+(:attr:`~repro.index.rstar.RStarTree.version`) and re-checks it before
+every coverage decision: an unannounced mutation triggers a guarded full
+:meth:`~ObstacleCache.invalidate` — never silent staleness.  Mutations
+routed through :meth:`Workspace.add_obstacle` /
+:meth:`Workspace.remove_obstacle` instead announce themselves via
+:meth:`~ObstacleCache.note_obstacle_insert` /
+:meth:`~ObstacleCache.note_obstacle_remove`, which maintain the cache
+*surgically*: an inserted obstacle is patched into the cached set (every
+capsule that covers its footprint regains completeness), a removed one is
+evicted, and any capsule whose completeness can no longer be proven is
+dropped.
 """
 
 from __future__ import annotations
@@ -34,7 +49,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Sequence, Set, Tuple
+from typing import Deque, List, NamedTuple, Sequence, Set, Tuple
 
 from ..core.ior import TreeObstacleFetcher
 from ..core.stats import QueryStats
@@ -45,8 +60,40 @@ from ..index.rstar import RStarTree
 from ..obstacles.obstacle import Obstacle
 from ..obstacles.visgraph import LocalVisibilityGraph
 
-_Capsule = Tuple[float, float, float, float, float]
-"""``(ax, ay, bx, by, radius)`` — all obstacles within radius of the spine."""
+
+class Capsule(NamedTuple):
+    """A coverage capsule: every obstacle within ``radius`` of the spine
+    segment ``(ax, ay) - (bx, by)`` is resident in the cache."""
+
+    ax: float
+    ay: float
+    bx: float
+    by: float
+    radius: float
+
+    @property
+    def spine(self) -> Segment:
+        """The capsule's spine segment."""
+        return Segment(self.ax, self.ay, self.bx, self.by)
+
+    def contains(self, qseg: Segment, radius: float) -> bool:
+        """Does this capsule contain the capsule ``(qseg, radius)``?"""
+        da = self.spine.dist_point(qseg.ax, qseg.ay)
+        db = self.spine.dist_point(qseg.bx, qseg.by)
+        return max(da, db) + radius <= self.radius + EPS
+
+    def covers_rect(self, rect: Rect) -> bool:
+        """Does this capsule's region intersect ``rect``?
+
+        True when an obstacle with MBR ``rect`` falls under the capsule's
+        completeness claim (``mindist(rect, spine) <= radius``).
+        """
+        return (rect.mindist_segment(self.ax, self.ay, self.bx, self.by)
+                <= self.radius + EPS)
+
+
+_Capsule = Capsule
+"""Backward-compatible alias for the pre-NamedTuple type name."""
 
 
 def rect_capsule(rect: Rect, margin: float) -> Tuple[Segment, float]:
@@ -63,15 +110,6 @@ def rect_capsule(rect: Rect, margin: float) -> Tuple[Segment, float]:
         return Segment(xlo, yc, xhi, yc), 0.5 * (yhi - ylo)
     xc = 0.5 * (xlo + xhi)
     return Segment(xc, ylo, xc, yhi), 0.5 * (xhi - xlo)
-
-
-def _capsule_contains(cap: _Capsule, qseg: Segment, radius: float) -> bool:
-    """Does ``cap`` contain the capsule of radius ``radius`` around ``qseg``?"""
-    ax, ay, bx, by, r = cap
-    spine = Segment(ax, ay, bx, by)
-    da = spine.dist_point(qseg.ax, qseg.ay)
-    db = spine.dist_point(qseg.bx, qseg.by)
-    return max(da, db) + radius <= r + EPS
 
 
 @dataclass
@@ -98,6 +136,15 @@ class CacheStats:
 
     prefetched: int = 0
     """Obstacles loaded into the cache by prefetching."""
+
+    patched: int = 0
+    """Obstacle-tree inserts patched into the cached set surgically."""
+
+    evicted: int = 0
+    """Obstacle-tree removals evicted from the cached set surgically."""
+
+    invalidations: int = 0
+    """Guarded full invalidations (unannounced obstacle-tree mutations)."""
 
     @property
     def hit_rate(self) -> float:
@@ -131,13 +178,116 @@ class ObstacleCache:
         self.overfetch = float(overfetch)
         self.stats = CacheStats()
         self.epoch = 0
-        """Bumped on every insertion; views use it to refresh rankings."""
+        """Bumped on every insertion/eviction; views use it to refresh
+        rankings."""
         self._seen: Set[Obstacle] = set()
         self._obstacles: List[Obstacle] = []
         self._mbrs: List[Rect] = []
-        self._capsules: List[_Capsule] = []
+        self._capsules: List[Capsule] = []
         self._max_capsules = max_capsules
         self._ranked_memo = None  # (qseg key, epoch, ranked list)
+        self._tree_version = obstacle_tree.version
+
+    # ----------------------------------------------------------- maintenance
+    def _validate(self) -> None:
+        """Guard against unannounced tree mutations: invalidate on mismatch.
+
+        Every coverage decision and every serving path funnels through this
+        check, so a tree mutated behind the workspace's back can never be
+        answered from stale capsules — the one-shot fallback is a full
+        invalidation, after which every round is a (correct) cold miss.
+        """
+        if self.tree.version != self._tree_version:
+            self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop every cached obstacle and every coverage capsule.
+
+        Cached obstacles must go together with the capsules: a capsule
+        recorded *after* a mutation would prove coverage over a cached set
+        still containing obstacles deleted from the tree.
+        """
+        self._seen.clear()
+        self._obstacles.clear()
+        self._mbrs.clear()
+        self._capsules.clear()
+        self._ranked_memo = None
+        self.epoch += 1
+        self.stats.invalidations += 1
+        self._tree_version = self.tree.version
+
+    def sync_tree_version(self) -> None:
+        """Adopt the tree's current version without invalidating.
+
+        For mutations that provably cannot affect obstacle coverage — data
+        point inserts/deletes on a 1T unified tree, where the cache's backing
+        tree also indexes non-obstacle payloads.
+        """
+        self._tree_version = self.tree.version
+
+    def _absorb_announced_mutation(self) -> bool:
+        """Common version bookkeeping of the two ``note_obstacle_*`` hooks.
+
+        Returns True when the surgical path may proceed; False when foreign
+        (unannounced) mutations interleaved and a full invalidation already
+        handled everything.
+        """
+        if self.tree.version != self._tree_version + 1:
+            # More happened to the tree than the one announced mutation:
+            # surgical repair cannot prove anything, fall back hard.
+            self.invalidate()
+            return False
+        self._tree_version = self.tree.version
+        return True
+
+    def note_obstacle_insert(self, obstacle: Obstacle) -> None:
+        """Announce that ``obstacle`` was just inserted into the tree.
+
+        The obstacle is patched into the cached set, which keeps every
+        recorded capsule valid: a capsule covering its footprint regains
+        completeness the moment the obstacle is resident, and a capsule not
+        covering it never claimed it.
+        """
+        if not self._absorb_announced_mutation():
+            return
+        if self.add(obstacle):
+            self.stats.patched += 1
+
+    def note_obstacle_remove(self, obstacle: Obstacle) -> None:
+        """Announce that ``obstacle`` was just deleted from the tree.
+
+        The obstacle is evicted from the cached set; capsules stay valid
+        (their claim quantifies over the dataset, which shrank in lockstep
+        with the cache).  If the obstacle was *not* resident yet its
+        footprint lies under some capsule, that capsule's completeness was
+        never real — those capsules are dropped.
+        """
+        if not self._absorb_announced_mutation():
+            return
+        mbr = obstacle.mbr()
+        if any(item == obstacle for item in self.tree.range_search(mbr)):
+            # A duplicate entry survived the delete: the dataset still
+            # contains the obstacle, so the cached copy and every capsule
+            # remain exactly right — evicting here would under-serve.
+            return
+        if self._evict(obstacle):
+            return
+        kept = [cap for cap in self._capsules if not cap.covers_rect(mbr)]
+        if len(kept) != len(self._capsules):
+            self._capsules = kept
+
+    def _evict(self, obstacle: Obstacle) -> bool:
+        """Remove one obstacle from the cached set; True when it was there."""
+        if obstacle not in self._seen:
+            return False
+        self._seen.discard(obstacle)
+        idx = next(i for i, o in enumerate(self._obstacles) if o == obstacle)
+        del self._obstacles[idx]
+        del self._mbrs[idx]
+        self._ranked_memo = None
+        self.epoch += 1
+        self.stats.evicted += 1
+        return True
 
     # ------------------------------------------------------------ population
     def add(self, obstacle: Obstacle) -> bool:
@@ -162,33 +312,35 @@ class ObstacleCache:
     # -------------------------------------------------------------- coverage
     def covered(self, qseg: Segment, radius: float) -> bool:
         """True when every obstacle within ``radius`` of ``qseg`` is cached."""
-        return any(_capsule_contains(cap, qseg, radius)
-                   for cap in self._capsules)
+        self._validate()
+        return any(cap.contains(qseg, radius) for cap in self._capsules)
 
     def record_coverage(self, qseg: Segment, radius: float) -> None:
         """Register that ``(qseg, radius)`` has been exhaustively fetched."""
         if radius <= 0.0:
             return
-        new: _Capsule = (qseg.ax, qseg.ay, qseg.bx, qseg.by, float(radius))
+        new = Capsule(qseg.ax, qseg.ay, qseg.bx, qseg.by, float(radius))
         kept = [cap for cap in self._capsules
-                if not _capsule_contains(new, Segment(*cap[:4]), cap[4])]
-        if not any(_capsule_contains(cap, qseg, radius) for cap in kept):
+                if not new.contains(cap.spine, cap.radius)]
+        if not any(cap.contains(qseg, radius) for cap in kept):
             kept.append(new)
         self._capsules = kept[-self._max_capsules:]
 
     @property
     def coverage_regions(self) -> int:
         """Number of coverage capsules currently recorded."""
+        self._validate()
         return len(self._capsules)
 
     @property
-    def capsules(self) -> Tuple[_Capsule, ...]:
+    def capsules(self) -> Tuple[Capsule, ...]:
         """The recorded coverage capsules as ``(ax, ay, bx, by, radius)``.
 
         Ordered oldest to newest; the query planner reads them to estimate
         obstacle I/O and the batch executor calibrates its prefetch margins
         from the newest one.
         """
+        self._validate()
         return tuple(self._capsules)
 
     # --------------------------------------------------------------- serving
@@ -202,6 +354,7 @@ class ObstacleCache:
         the repeated-query workload the cache targets — ranks once, not
         once per view.
         """
+        self._validate()
         ax, ay, bx, by = qseg.ax, qseg.ay, qseg.bx, qseg.by
         key = (ax, ay, bx, by)
         memo = self._ranked_memo
@@ -217,6 +370,7 @@ class ObstacleCache:
     def view(self, qseg: Segment, vg: LocalVisibilityGraph,
              stats: QueryStats) -> "CachedObstacleView":
         """Open a per-query obstacle feed over this cache."""
+        self._validate()
         return CachedObstacleView(self, qseg, vg, stats)
 
     # ------------------------------------------------------------ prefetching
@@ -226,6 +380,7 @@ class ObstacleCache:
         Returns:
             Number of obstacles newly inserted.
         """
+        self._validate()
         self.stats.prefetch_calls += 1
         scan = self.fetcher.open_scan(qseg)
         added = 0

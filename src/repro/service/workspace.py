@@ -65,6 +65,13 @@ from ..query.queries import (
 )
 from ..query.results import QueryResult
 from .cache import CacheStats, ObstacleCache
+from .updates import (
+    AddObstacle,
+    AddSite,
+    RemoveObstacle,
+    RemoveSite,
+    Update,
+)
 
 
 class _CachingUnifiedSource(UnifiedSource):
@@ -128,6 +135,12 @@ class Workspace:
             obstacle_tree if obstacle_tree is not None else unified_tree,
             overfetch=overfetch)
         self._service = QueryService(self)
+        self.version = 0
+        """Workspace mutation counter: bumped by every applied update.
+        Prepared :class:`~repro.query.planner.QueryPlan` objects record the
+        version they were planned at; the executor re-plans any plan whose
+        recorded version no longer matches."""
+        self._monitors = None
 
     # ----------------------------------------------------------- constructors
     @classmethod
@@ -185,6 +198,90 @@ class Workspace:
     def cache_stats(self) -> CacheStats:
         """Cumulative obstacle-cache counters across every query so far."""
         return self.cache.stats
+
+    # -------------------------------------------------------------- mutation
+    @property
+    def monitors(self):
+        """The continuous-query registry bound to this workspace.
+
+        Created on first access; see :mod:`repro.monitor`.  Registered
+        monitors receive incremental repair on every applied update.
+        """
+        if self._monitors is None:
+            from ..monitor.registry import MonitorRegistry
+
+            self._monitors = MonitorRegistry(self)
+        return self._monitors
+
+    def add_site(self, payload: Any, x, y: Optional[float] = None) -> bool:
+        """Insert a data point; accepts ``(payload, x, y)`` or a point-like."""
+        pt = as_query_point(x, y)
+        return self._apply_one(AddSite(payload, pt.x, pt.y))
+
+    def remove_site(self, payload: Any, x,
+                    y: Optional[float] = None) -> bool:
+        """Delete a data point; True when it was found and removed."""
+        pt = as_query_point(x, y)
+        return self._apply_one(RemoveSite(payload, pt.x, pt.y))
+
+    def add_obstacle(self, obstacle: Obstacle) -> bool:
+        """Insert an obstacle, surgically patching the obstacle cache."""
+        return self._apply_one(AddObstacle(obstacle))
+
+    def remove_obstacle(self, obstacle: Obstacle) -> bool:
+        """Delete an obstacle, evicting it from the obstacle cache.
+
+        Returns:
+            True when it was found and removed.
+        """
+        return self._apply_one(RemoveObstacle(obstacle))
+
+    def apply(self, updates: Iterable[Update]) -> List[bool]:
+        """Apply a batch of typed updates in order.
+
+        Each update routes to the layout's R*-trees, maintains the obstacle
+        cache surgically (insert patch / remove evict — never a silent
+        stale serve), bumps :attr:`version`, and triggers incremental
+        repair of every registered monitor.
+
+        Returns:
+            Per-update success flags (False only for removals that found
+            nothing to remove).
+        """
+        return [self._apply_one(u) for u in updates]
+
+    def _apply_one(self, update: Update) -> bool:
+        """Route one update; returns False for a no-match removal."""
+        if isinstance(update, (AddSite, RemoveSite)):
+            tree = self.data_tree if self.layout == "2T" else self.unified_tree
+            if isinstance(update, AddSite):
+                tree.insert_point(update.payload, update.x, update.y)
+                applied = True
+            else:
+                applied = tree.delete(update.payload,
+                                      Rect.point(update.x, update.y))
+            # On 1T the cache's backing tree just changed version, but data
+            # points are invisible to obstacle coverage: adopt, don't drop.
+            if applied and self.layout == "1T":
+                self.cache.sync_tree_version()
+        elif isinstance(update, (AddObstacle, RemoveObstacle)):
+            tree = (self.obstacle_tree if self.layout == "2T"
+                    else self.unified_tree)
+            if isinstance(update, AddObstacle):
+                tree.insert(update.obstacle, update.obstacle.mbr())
+                self.cache.note_obstacle_insert(update.obstacle)
+                applied = True
+            else:
+                applied = tree.delete(update.obstacle, update.obstacle.mbr())
+                if applied:
+                    self.cache.note_obstacle_remove(update.obstacle)
+        else:
+            raise TypeError(f"unknown update type {type(update).__name__}")
+        if applied:
+            self.version += 1
+            if self._monitors is not None:
+                self._monitors.notify(update)
+        return applied
 
     # ------------------------------------------------- declarative interface
     @property

@@ -206,3 +206,90 @@ class TestIOAccounting:
         for i in range(300):
             t.insert_point(i, rng.uniform(0, 100), rng.uniform(0, 100))
         assert t.num_pages >= t.height
+
+
+class TestUpdateStorms:
+    """Randomized insert/delete storms: structure, accounting, versioning.
+
+    The dynamic-update subsystem leans on three tree guarantees — structural
+    invariants survive arbitrary mutation interleavings, ``size`` tracks the
+    live set exactly, and ``delete`` reports truthfully — so each is pounded
+    here across seeds, page sizes, and duplicate-heavy workloads.
+    """
+
+    @pytest.mark.parametrize("seed", [11, 29, 47, 83])
+    @pytest.mark.parametrize("page_size", [176, 256, 512])
+    def test_storm_preserves_invariants_and_size(self, seed, page_size):
+        rng = random.Random(seed)
+        t = RStarTree(page_size=page_size)
+        alive: dict[int, tuple[float, float]] = {}
+        next_id = 0
+        for step in range(400):
+            roll = rng.random()
+            if alive and roll < 0.45:
+                pid = rng.choice(list(alive))
+                x, y = alive.pop(pid)
+                assert t.delete(pid, Rect.point(x, y)) is True
+            elif roll < 0.5:
+                # Deleting something never inserted must report False and
+                # leave the tree untouched.
+                before = t.size
+                assert t.delete(("ghost", step), Rect.point(1.0, 1.0)) is False
+                assert t.size == before
+            else:
+                x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+                t.insert_point(next_id, x, y)
+                alive[next_id] = (x, y)
+                next_id += 1
+            if step % 50 == 49:
+                t.check_invariants()
+                assert t.size == len(alive)
+        t.check_invariants()
+        assert t.size == len(alive)
+        assert sorted(t.range_search(Rect(0, 0, 100, 100))) == sorted(alive)
+
+    def test_storm_on_bulk_loaded_tree(self, rng):
+        pts = [(i, Rect.point(rng.uniform(0, 100), rng.uniform(0, 100)))
+               for i in range(300)]
+        t = RStarTree.bulk_load(pts, page_size=256)
+        alive = {i: rect for i, rect in pts}
+        next_id = len(pts)
+        for _ in range(200):
+            if alive and rng.random() < 0.6:
+                pid = rng.choice(list(alive))
+                assert t.delete(pid, alive.pop(pid)) is True
+            else:
+                pid = next_id
+                next_id += 1
+                rect = Rect.point(rng.uniform(0, 100), rng.uniform(0, 100))
+                t.insert(pid, rect)
+                alive[pid] = rect
+        t.check_invariants()
+        assert t.size == len(alive)
+
+    def test_duplicate_location_storm(self):
+        """Many items at identical coordinates: deletes must hit payloads."""
+        t = RStarTree(page_size=176)
+        for i in range(120):
+            t.insert_point(i, 5.0, 5.0)
+        t.check_invariants()
+        for i in range(0, 120, 2):
+            assert t.delete(i, Rect.point(5.0, 5.0)) is True
+            assert t.delete(i, Rect.point(5.0, 5.0)) is False
+        t.check_invariants()
+        assert t.size == 60
+        assert sorted(t.range_search(Rect.point(5.0, 5.0))) == \
+            list(range(1, 120, 2))
+
+    def test_version_counts_mutations_only(self, rng):
+        t = RStarTree(page_size=256)
+        assert t.version == 0
+        for i in range(40):
+            t.insert_point(i, rng.uniform(0, 10), rng.uniform(0, 10))
+        assert t.version == 40
+        t.range_search(Rect(0, 0, 10, 10))  # reads must not bump
+        assert t.version == 40
+        assert t.delete(0, Rect(0, 0, 10, 10))
+        assert t.version == 41
+        assert not t.delete("missing", Rect(0, 0, 10, 10))
+        assert t.version == 41

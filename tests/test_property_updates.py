@@ -1,0 +1,138 @@
+"""Hypothesis property suite for the dynamic-update subsystem.
+
+The property: a long-lived :class:`Workspace` that interleaves arbitrary
+site/obstacle updates with CONN / ONN / range queries always answers
+exactly like naive recomputation — fresh trees, cold cache, the core free
+functions — on the dataset as mutated so far.  Hypothesis drives the *op
+pattern* (which update kind, which victim, when to query); scene geometry
+comes from a seeded generator so coordinates stay well-conditioned.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RectObstacle, SegmentObstacle, Workspace, coknn, onn
+from repro.core import obstructed_range
+from tests.conftest import (
+    build_obstacle_tree,
+    build_point_tree,
+    random_query,
+    random_scene,
+    same_values,
+)
+
+OPS = ("add_site", "remove_site", "add_obstacle", "remove_obstacle")
+
+
+def _random_obstacle(rng: random.Random):
+    x, y = rng.uniform(0, 92), rng.uniform(0, 92)
+    if rng.random() < 0.3:
+        return SegmentObstacle(x, y, x + rng.uniform(-12, 12),
+                               y + rng.uniform(-12, 12))
+    return RectObstacle(x, y, x + rng.uniform(1, 7), y + rng.uniform(1, 5))
+
+
+def _check_all_kinds(ws, points, obstacles, qseg, k):
+    dt = build_point_tree(points)
+    ot = build_obstacle_tree(obstacles)
+    ts = np.linspace(0.0, qseg.length, 81)
+
+    got = ws.coknn(qseg, k=k)
+    want = coknn(dt, ot, qseg, k=k)
+    for lv_g, lv_w in zip(got.levels, want.levels):
+        assert same_values(lv_g.values(ts), lv_w.values(ts))
+    assert [o for o, _iv in got.tuples()] == [o for o, _iv in want.tuples()]
+
+    x, y = qseg.point_at(0.5 * qseg.length)
+    got_nn, _ = ws.onn(x, y, k=k)
+    want_nn, _ = onn(dt, ot, x, y, k=k)
+    assert [p for p, _d in got_nn] == [p for p, _d in want_nn]
+    assert same_values([d for _p, d in got_nn], [d for _p, d in want_nn])
+
+    got_r, _ = ws.range(x, y, 20.0)
+    want_r, _ = obstructed_range(dt, ot, x, y, 20.0)
+    assert sorted(map(str, (p for p, _d in got_r))) == \
+        sorted(map(str, (p for p, _d in want_r)))
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       pattern=st.lists(st.tuples(st.sampled_from(OPS),
+                                  st.integers(min_value=0, max_value=31),
+                                  st.booleans()),
+                        min_size=1, max_size=6),
+       k=st.integers(min_value=1, max_value=2))
+@settings(max_examples=20, deadline=None)
+def test_interleaved_updates_match_naive_recompute(seed, pattern, k):
+    rng = random.Random(seed)
+    points, obstacles = random_scene(rng, n_points=8, n_obstacles=5)
+    points = list(points)
+    obstacles = list(obstacles)
+    ws = Workspace.from_points(points, obstacles)
+    qseg = random_query(rng)
+    ws.coknn(qseg, k=k)  # warm the cache before any mutation
+    next_id = 10_000
+    for op, victim, query_between in pattern:
+        if op == "add_site":
+            xy = (rng.uniform(0, 100), rng.uniform(0, 100))
+            ws.add_site(next_id, xy)
+            points.append((next_id, xy))
+            next_id += 1
+        elif op == "remove_site" and len(points) > 2:
+            pid, xy = points.pop(victim % len(points))
+            assert ws.remove_site(pid, xy) is True
+        elif op == "add_obstacle":
+            obs = _random_obstacle(rng)
+            ws.add_obstacle(obs)
+            obstacles.append(obs)
+        elif op == "remove_obstacle" and obstacles:
+            obs = obstacles.pop(victim % len(obstacles))
+            assert ws.remove_obstacle(obs) is True
+        if query_between:
+            _check_all_kinds(ws, points, obstacles, qseg, k)
+    _check_all_kinds(ws, points, obstacles, qseg, k)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_updates=st.integers(min_value=1, max_value=4))
+@settings(max_examples=10, deadline=None)
+def test_monitor_tracks_naive_recompute(seed, n_updates):
+    """The standing result of a registered monitor obeys the same property."""
+    from repro import CoknnQuery
+
+    rng = random.Random(seed)
+    points, obstacles = random_scene(rng, n_points=8, n_obstacles=5)
+    points = list(points)
+    obstacles = list(obstacles)
+    ws = Workspace.from_points(points, obstacles)
+    q = CoknnQuery(random_query(rng), knn=2)
+    m = ws.monitors.register(q)
+    next_id = 50_000
+    ts = np.linspace(0.0, q.segment.length, 81)
+    for _ in range(n_updates):
+        roll = rng.random()
+        if roll < 0.4:
+            xy = (rng.uniform(0, 100), rng.uniform(0, 100))
+            ws.add_site(next_id, xy)
+            points.append((next_id, xy))
+            next_id += 1
+        elif roll < 0.6 and len(points) > 2:
+            pid, xy = points.pop(rng.randrange(len(points)))
+            ws.remove_site(pid, xy)
+        elif roll < 0.8 and obstacles:
+            obs = obstacles.pop(rng.randrange(len(obstacles)))
+            ws.remove_obstacle(obs)
+        else:
+            obs = _random_obstacle(rng)
+            ws.add_obstacle(obs)
+            obstacles.append(obs)
+        want = coknn(build_point_tree(points), build_obstacle_tree(obstacles),
+                     q.segment, k=2)
+        for lv_g, lv_w in zip(m.result.levels, want.levels):
+            assert same_values(lv_g.values(ts), lv_w.values(ts))
+        assert [o for o, _iv in m.result.tuples()] == \
+            [o for o, _iv in want.tuples()]
