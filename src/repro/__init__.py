@@ -82,6 +82,13 @@ from .monitor import (
     MonitorRegistry,
     ResultDelta,
 )
+from .routing import (
+    BackendStats,
+    ObstructedDistanceBackend,
+    PerQueryVGBackend,
+    SharedVGBackend,
+    VGSession,
+)
 from .service import (
     AddObstacle,
     AddSite,
@@ -106,11 +113,12 @@ from .obstacles import (
     visible_region,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AddObstacle",
     "AddSite",
+    "BackendStats",
     "CacheStats",
     "Capsule",
     "CachedObstacleView",
@@ -135,8 +143,10 @@ __all__ = [
     "Obstacle",
     "ObstacleCache",
     "ObstacleSet",
+    "ObstructedDistanceBackend",
     "OnnQuery",
     "PageTracker",
+    "PerQueryVGBackend",
     "PlannerOptions",
     "PolygonObstacle",
     "PiecewiseDistance",
@@ -156,8 +166,10 @@ __all__ = [
     "Segment",
     "SegmentObstacle",
     "SemiJoinQuery",
+    "SharedVGBackend",
     "TrajectoryQuery",
     "TrajectoryResult",
+    "VGSession",
     "Workspace",
     "build_unified_tree",
     "cknn_euclidean",

@@ -19,7 +19,8 @@ import numpy as np
 
 from ..geometry.segment import Segment
 from ..obstacles.obstacle import Obstacle, ObstacleSet
-from ..obstacles.obstructed import _dijkstra, build_full_graph
+from ..obstacles.obstructed import build_full_graph
+from ..obstacles.visgraph import LocalVisibilityGraph
 from .naive import brute_distance_function
 
 
@@ -34,6 +35,14 @@ class GlobalVisibilityGraph:
 
     Intended for small inputs (tests, the FULL baseline bench); raises when
     asked to materialize an unreasonably large graph.
+
+    Since the routing refactor this baseline runs on the same substrate as
+    the engine: one persistent unanchored
+    :class:`~repro.obstacles.visgraph.LocalVisibilityGraph` holds every
+    obstacle vertex, :meth:`distance` attaches the pair as transient
+    endpoints the way backend sessions do, and the traversal is the
+    library-wide resumable Dijkstra — instead of the historical private
+    copy this module used to carry.
     """
 
     def __init__(self, obstacles: Iterable[Obstacle], max_vertices: int = 4000):
@@ -44,20 +53,40 @@ class GlobalVisibilityGraph:
             raise ValueError(
                 f"global visibility graph with {n} vertices exceeds the "
                 f"max_vertices={max_vertices} guard; use the local graph instead")
-        self.adjacency = build_full_graph([], self.obstacles)
+        self._graph = LocalVisibilityGraph(obstacles=list(self.obstacles))
+        self._adjacency: List[dict] | None = None
+
+    @property
+    def adjacency(self) -> List[dict]:
+        """The reference full adjacency (independent sight-line predicates).
+
+        Materialized on first access and cached (the obstacle set is
+        immutable), so repeated reads stay as cheap as the historical
+        eager attribute.
+        """
+        if self._adjacency is None:
+            self._adjacency = build_full_graph([], self.obstacles)
+        return self._adjacency
 
     @property
     def num_vertices(self) -> int:
         return self.obstacles.vertex_count()
 
     def num_edges(self) -> int:
-        return sum(len(d) for d in self.adjacency) // 2
+        return self._graph.num_edges(materialize=True)
 
     def distance(self, a: Tuple[float, float], b: Tuple[float, float]) -> float:
-        """Obstructed distance via a throwaway extension of the graph."""
-        adj = build_full_graph([a, b], self.obstacles)
-        dist, _ = _dijkstra(adj, 0)
-        return dist[1]
+        """Obstructed distance via transient endpoints on the shared graph."""
+        g = self._graph
+        g.bind(Segment(a[0], a[1], b[0], b[1]))
+        try:
+            return g.shortest_distances(g.S, (g.E,))[g.E]
+        finally:
+            g.unbind()
+            # Each call leaves two dead endpoint slots behind; compact so
+            # tight evaluation loops stay O(skeleton) in memory.
+            if g.dead_slots > max(64, g.num_nodes):
+                g.compact()
 
     def conn(self, points: Sequence[Tuple[Any, Tuple[float, float]]],
              qseg: Segment, ts: np.ndarray

@@ -19,7 +19,7 @@ from ..geometry.segment import Segment
 from ..index.nearest import IncrementalNearest
 from ..index.rstar import RStarTree
 from ..obstacles.obstacle import Obstacle
-from ..obstacles.visgraph import LocalVisibilityGraph
+from ..routing.backends import ObstructedGraph
 from .config import DEFAULT_CONFIG, ConnConfig
 from .engine import ConnResult
 from .stats import QueryStats
@@ -38,7 +38,7 @@ class UnifiedSource:
     """
 
     def __init__(self, tree: RStarTree, qseg: Segment,
-                 vg: LocalVisibilityGraph, stats: QueryStats):
+                 vg: ObstructedGraph, stats: QueryStats):
         self._scan = IncrementalNearest(
             tree,
             lambda rect: rect.mindist_segment(qseg.ax, qseg.ay, qseg.bx, qseg.by))

@@ -26,19 +26,20 @@ from typing import Any
 
 from ..geometry.interval import IntervalSet
 from ..geometry.predicates import point_in_triangle
-from ..obstacles.visgraph import LocalVisibilityGraph
+from ..routing.backends import ObstructedGraph
 from .config import DEFAULT_CONFIG, ConnConfig
 from .distance_function import PiecewiseDistance
 from .stats import QueryStats
 
 
-def compute_cpl(vg: LocalVisibilityGraph, point_node: int, owner: Any,
+def compute_cpl(vg: ObstructedGraph, point_node: int, owner: Any,
                 cfg: ConnConfig = DEFAULT_CONFIG,
                 stats: QueryStats | None = None) -> PiecewiseDistance:
     """The control point list of ``point_node``'s point over the query segment.
 
     Args:
-        vg: local visibility graph already covering the point's search range.
+        vg: graph surface (backend session or local visibility graph)
+            already covering the point's search range.
         point_node: transient graph node of the data point.
         owner: payload to stamp on every piece (the data point itself).
 
@@ -73,7 +74,7 @@ def compute_cpl(vg: LocalVisibilityGraph, point_node: int, owner: Any,
     return cpl
 
 
-def _lemma6_refine(vg: LocalVisibilityGraph, qseg, region: IntervalSet,
+def _lemma6_refine(vg: ObstructedGraph, qseg, region: IntervalSet,
                    vr_pred: IntervalSet, pred: int, v: int,
                    stats: QueryStats) -> IntervalSet:
     """Drop intervals that Lemma 6's triangle test proves irrelevant.

@@ -28,7 +28,7 @@ from ..geometry.segment import Segment
 from ..index.nearest import IncrementalNearest
 from ..index.pagestore import PageTracker
 from ..index.rstar import RStarTree
-from ..obstacles.visgraph import LocalVisibilityGraph
+from ..routing.backends import ObstructedGraph
 from .config import ConnConfig
 from .cplc import compute_cpl
 from .distance_function import PiecewiseDistance
@@ -185,10 +185,15 @@ class ConnResult:
                 f"npe={self.stats.npe}, noe={self.stats.noe})")
 
 
-def evaluate_point(vg: LocalVisibilityGraph, retriever: ObstacleSource,
+def evaluate_point(vg: ObstructedGraph, retriever: ObstacleSource,
                    payload: Any, x: float, y: float, cfg: ConnConfig,
                    stats: QueryStats) -> PiecewiseDistance:
     """Full evaluation of one data point: IOR, CPLC, coverage validation.
+
+    ``vg`` is any :class:`~repro.routing.backends.ObstructedGraph` — a raw
+    :class:`~repro.obstacles.visgraph.LocalVisibilityGraph` or a backend
+    session obtained from
+    :meth:`~repro.routing.backends.ObstructedDistanceBackend.attach_endpoints`.
 
     Returns the point's control point list as a piecewise distance function
     over the whole query segment.
@@ -212,10 +217,16 @@ def evaluate_point(vg: LocalVisibilityGraph, retriever: ObstacleSource,
 
 
 def run_query(source: DataSource, retriever: ObstacleSource,
-              vg: LocalVisibilityGraph, qseg: Segment, k: int,
+              vg: ObstructedGraph, qseg: Segment, k: int,
               cfg: ConnConfig, trackers: Sequence[PageTracker],
               stats: Optional[QueryStats] = None) -> ConnResult:
-    """Drive the best-first scan to completion (Algorithm 4 generalized)."""
+    """Drive the best-first scan to completion (Algorithm 4 generalized).
+
+    The distance substrate arrives as an attached backend session (or a
+    raw local graph): the engine never constructs a visibility graph
+    itself, which is what lets the planner swap per-query and
+    workspace-shared substrates without touching this loop.
+    """
     stats = stats if stats is not None else QueryStats()
     snapshots = [(t, t.stats.snapshot()) for t in trackers]
     started = time.perf_counter()

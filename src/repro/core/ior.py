@@ -27,7 +27,7 @@ from ..geometry.segment import Segment
 from ..index.nearest import IncrementalNearest
 from ..index.rstar import RStarTree
 from ..obstacles.obstacle import Obstacle
-from ..obstacles.visgraph import LocalVisibilityGraph
+from ..routing.backends import ObstructedGraph
 from .stats import QueryStats
 
 
@@ -73,7 +73,7 @@ class ObstacleRetriever:
     """
 
     def __init__(self, obstacle_tree: RStarTree, qseg: Segment,
-                 vg: LocalVisibilityGraph, stats: QueryStats):
+                 vg: ObstructedGraph, stats: QueryStats):
         self._scan = TreeObstacleFetcher(obstacle_tree).open_scan(qseg)
         self._vg = vg
         self._stats = stats
@@ -96,7 +96,7 @@ class ObstacleRetriever:
         return added
 
 
-def ior_fixpoint(vg: LocalVisibilityGraph, retriever: ObstacleSource,
+def ior_fixpoint(vg: ObstructedGraph, retriever: ObstacleSource,
                  point_node: int, stats: QueryStats) -> None:
     """Algorithm 1: stabilize the shortest paths from ``point_node`` to S and E.
 

@@ -30,13 +30,13 @@ from ..geometry.segment import Segment
 from ..index.nearest import IncrementalNearest
 from ..index.pagestore import PageTracker
 from ..index.rstar import RStarTree
-from ..obstacles.visgraph import LocalVisibilityGraph
+from ..routing.backends import ObstructedGraph, PerQueryVGBackend
 from .config import DEFAULT_CONFIG, ConnConfig
 from .ior import ObstacleRetriever, ObstacleSource
 from .stats import QueryStats
 
 
-def _stable_distance(vg: LocalVisibilityGraph, retriever: ObstacleSource,
+def _stable_distance(vg: ObstructedGraph, retriever: ObstacleSource,
                      source_node: int, target_node: int) -> float:
     """Shortest-path length valid under Lemma 3's retrieval criterion.
 
@@ -76,7 +76,7 @@ class PointScan:
 
 
 def run_onn_scan(source, retriever: ObstacleSource,
-                 vg: LocalVisibilityGraph, k: int, config: ConnConfig,
+                 vg: ObstructedGraph, k: int, config: ConnConfig,
                  stats: QueryStats,
                  trackers: Sequence[PageTracker]) -> List[Tuple[Any, float]]:
     """Drive an ONN scan to completion over pluggable sources.
@@ -145,10 +145,12 @@ def obstructed_distance_indexed(a: Tuple[float, float], b: Tuple[float, float],
     """Obstructed distance between two points using the obstacle index.
 
     Only obstacles within Lemma 3's radius of the pair are ever touched.
+    Runs through a one-shot :class:`~repro.routing.PerQueryVGBackend`
+    session, the same machinery every engine query uses.
     """
     anchor = Segment(a[0], a[1], a[0], a[1])
     stats = QueryStats()
-    vg = LocalVisibilityGraph(anchor)
-    retriever = ObstacleRetriever(obstacle_tree, anchor, vg, stats)
-    node = vg.add_point(b[0], b[1])
-    return _stable_distance(vg, retriever, node, vg.S)
+    with PerQueryVGBackend().attach_endpoints(anchor, stats) as session:
+        retriever = ObstacleRetriever(obstacle_tree, anchor, session, stats)
+        node = session.add_point(b[0], b[1])
+        return _stable_distance(session, retriever, node, session.S)

@@ -22,14 +22,14 @@ from typing import Any, List, Sequence, Tuple
 from ..geometry.predicates import EPS
 from ..index.pagestore import PageTracker
 from ..index.rstar import RStarTree
-from ..obstacles.visgraph import LocalVisibilityGraph
+from ..routing.backends import ObstructedGraph
 from .ior import ObstacleSource
 from .onn import _stable_distance
 from .stats import QueryStats
 
 
 def run_range_scan(source, retriever: ObstacleSource,
-                   vg: LocalVisibilityGraph, radius: float,
+                   vg: ObstructedGraph, radius: float,
                    stats: QueryStats,
                    trackers: Sequence[PageTracker]) -> List[Tuple[Any, float]]:
     """Drive an obstructed range scan over pluggable sources.

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..index.pagestore import IO_MS_PER_FAULT, IOStats
+from ..routing.stats import BackendStats
 
 
 @dataclass
@@ -71,6 +72,16 @@ class QueryStats:
     are not separable there.
     """
 
+    backend_name: str = ""
+    """The obstructed-distance backend that served this query (e.g.
+    ``"per-query-vg"`` or ``"shared-vg"``); empty when the query ran on a
+    raw graph outside the backend machinery."""
+
+    backend: BackendStats = field(default_factory=BackendStats)
+    """This query's share of routing-backend work: graph builds vs
+    Dijkstra vs visibility tests (see
+    :class:`~repro.routing.stats.BackendStats`)."""
+
     @property
     def io_time_ms(self) -> float:
         """Charged I/O time (10 ms per page fault, as in the paper)."""
@@ -104,3 +115,6 @@ class QueryStats:
         self.cache_misses += other.cache_misses
         self.cache_served += other.cache_served
         self.obstacle_reads += other.obstacle_reads
+        self.backend.merge(other.backend)
+        if not self.backend_name:
+            self.backend_name = other.backend_name

@@ -126,6 +126,14 @@ def diff_intervals(old: List[Tuple[Tuple, Tuple[float, float]]],
 class Monitor:
     """Base monitor: a registered query plus its standing result.
 
+    Maintenance executions (span repairs and full re-runs) are planned
+    with the workspace-shared obstructed-distance backend pinned
+    (``backend="shared"``): a monitor's repair spans revisit the same
+    neighborhood over and over, which is exactly the workload the
+    persistent visibility graph amortizes — the obstacle skeleton and its
+    sight-line tests survive across repair spans instead of being rebuilt
+    per sub-query.
+
     Attributes:
         id: registry-assigned identity.
         query: the registered typed query description.
@@ -150,6 +158,20 @@ class Monitor:
         self.events: List[MonitorEvent] = []
         self.active = True
         self.result = workspace.execute(query)
+
+    def _execute_shared(self, query: Query):
+        """Run a maintenance (sub-)query on the workspace-shared backend.
+
+        Workspaces explicitly forced onto per-query graphs
+        (``PlannerOptions(backend="per-query")``) keep their policy; any
+        other policy (including ``auto``) pins maintenance onto the shared
+        graph, whose skeleton repair spans revisit again and again.
+        """
+        from ..routing.backends import PER_QUERY_VG
+
+        override = (None if self._ws.planner.backend in
+                    ("per-query", PER_QUERY_VG) else "shared")
+        return self._ws.execute(self._ws.plan(query, backend=override))
 
     # Subclass responsibilities -------------------------------------------
     def _refresh(self, update: Update) -> Tuple[str, Tuple[Tuple[float,
@@ -263,7 +285,7 @@ class SegmentMonitor(Monitor):
             repaired.append((lo, hi))
             a = qseg.point_at(lo)
             b = qseg.point_at(hi)
-            sub = self._ws.execute(
+            sub = self._execute_shared(
                 CoknnQuery(Segment(a.x, a.y, b.x, b.y), self.query.k,
                            config=self.query.config))
             levels = [old.replace_span(lo, hi, fresh)
@@ -286,7 +308,7 @@ class SegmentMonitor(Monitor):
         old_intervals = self.result.knn_intervals()
         covered = sum(hi - lo for lo, hi in spans)
         if covered >= self.rerun_fraction * qseg.length:
-            self.result = self._ws.execute(self.query)
+            self.result = self._execute_shared(self.query)
             action, spans = RERUN, ()
         else:
             action, spans = REPAIR, tuple(self._repair(spans))
@@ -325,7 +347,7 @@ class PointMonitor(Monitor):
             d = update.footprint().mindist_segment(x, y, x, y)
             if d > self._influence() + EPS:
                 return NO_OP, (), EMPTY_DELTA
-        self.result = self._ws.execute(self.query)
+        self.result = self._execute_shared(self.query)
         return RERUN, (), _diff_neighbors(old, self.result.tuples())
 
 

@@ -6,11 +6,16 @@ Section 2.4 — and runs Dijkstra.  It is deliberately simple: quadratic in the
 number of vertices, no pruning.  The CONN machinery never calls it; it exists
 as the public pairwise-distance API, as the correctness oracle for the local
 visibility graph, and as the engine of the naive baselines.
+
+The adjacency construction stays independent of the engine's lazy
+visibility graph (so the oracle remains a genuinely independent check of
+the sight-line predicates), but the shortest-path traversal itself runs on
+the library's single Dijkstra implementation
+(:mod:`repro.routing.dijkstra`) — the same expansion loop the engines use.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 from typing import Iterable, List, Sequence, Tuple
 
@@ -18,6 +23,7 @@ import numpy as np
 
 from ..geometry.point import Point
 from ..geometry.vectorized import visibility_mask
+from ..routing.dijkstra import dijkstra_all
 from .obstacle import Obstacle, ObstacleSet
 
 
@@ -55,24 +61,13 @@ def build_full_graph(points: Sequence[Tuple[float, float]],
 
 
 def _dijkstra(adj: List[dict], source: int) -> Tuple[List[float], List[int]]:
-    n = len(adj)
-    dist = [math.inf] * n
-    pred = [-1] * n
-    dist[source] = 0.0
-    heap = [(0.0, source)]
-    done = [False] * n
-    while heap:
-        d, u = heapq.heappop(heap)
-        if done[u]:
-            continue
-        done[u] = True
-        for v, w in adj[u].items():
-            nd = d + w
-            if nd < dist[v]:
-                dist[v] = nd
-                pred[v] = u
-                heapq.heappush(heap, (nd, v))
-    return dist, pred
+    """Single-source shortest paths over a materialized adjacency.
+
+    A thin adapter over the library-wide traversal
+    (:func:`repro.routing.dijkstra.dijkstra_all`); kept under its
+    historical name for the baselines that import it.
+    """
+    return dijkstra_all(adj, source)
 
 
 def obstructed_distance(a: Tuple[float, float], b: Tuple[float, float],

@@ -23,11 +23,25 @@ Two design points keep it fast at benchmark scale:
 The graph also caches each node's visible region ``VR_{v,q}`` with an
 obstacle watermark, so a cached region is lazily narrowed by exactly the
 shadows of obstacles added since it was computed.
+
+Traversals run on the library-wide resumable Dijkstra
+(:class:`repro.routing.dijkstra.Traversal`) and are memoized per source:
+a repeated ``dijkstra_order`` / ``shortest_path`` / ``shortest_distances``
+call over an unchanged graph replays the settled shortest-path tree and
+resumes the frontier instead of restarting from scratch.  Any mutation
+(node added, obstacle inserted, transient point removed) bumps the graph's
+generation and lazily invalidates the memo.
+
+A graph may also be built *unanchored* (``qseg=None``): no endpoint nodes
+exist until :meth:`bind` attaches a query segment's endpoints as transient
+nodes, and :meth:`unbind` detaches them again.  This is the mode the
+workspace-shared backend of :mod:`repro.routing` uses to keep one obstacle
+skeleton alive across many queries.
 """
 
 from __future__ import annotations
 
-import heapq
+import bisect
 import math
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -41,22 +55,27 @@ from ..geometry.vectorized import (
     crosses_rect_interior,
     proper_cross_segments,
 )
+from ..routing.dijkstra import Traversal
 from .obstacle import Obstacle, ObstacleSet
 from .shadow import shadow_set, visible_region
+
+_MAX_TRAVERSAL_MEMO = 64
+"""Memoized shortest-path trees kept per graph (oldest dropped first)."""
 
 
 class LocalVisibilityGraph:
     """An incrementally grown visibility graph tied to one query segment.
 
     Args:
-        qseg: the query segment the graph is anchored to.
+        qseg: the query segment the graph is anchored to, or ``None`` for
+            an unanchored skeleton that queries :meth:`bind` to later.
         obstacles: optional already-retrieved obstacle skeleton to seed the
             graph with (e.g. from a :class:`~repro.service.ObstacleCache`);
             equivalent to calling :meth:`add_obstacles` right after
             construction.
     """
 
-    def __init__(self, qseg: Segment,
+    def __init__(self, qseg: Optional[Segment] = None,
                  obstacles: Optional[Iterable[Obstacle]] = None):
         self.qseg = qseg
         self.obstacles = ObstacleSet()
@@ -74,10 +93,48 @@ class LocalVisibilityGraph:
         self._vr_cache: Dict[int, Tuple[IntervalSet, Tuple[int, int, int]]] = {}
         self._coords_cache: Optional[np.ndarray] = None
         self.visibility_tests = 0
-        self.S = self._new_node(qseg.ax, qseg.ay, transient=False)
-        self.E = self._new_node(qseg.bx, qseg.by, transient=False)
+        self.dijkstra_runs = 0
+        self.dijkstra_replays = 0
+        self.nodes_settled = 0
+        self._generation = 0
+        self._traversals: Dict[int, Traversal] = {}
+        self.S = -1
+        self.E = -1
+        if qseg is not None:
+            self.S = self._new_node(qseg.ax, qseg.ay, transient=False)
+            self.E = self._new_node(qseg.bx, qseg.by, transient=False)
         if obstacles is not None:
             self.add_obstacles(obstacles)
+
+    # -------------------------------------------------------------- binding
+    def bind(self, qseg: Segment) -> None:
+        """Anchor an unanchored graph to one query segment.
+
+        The endpoints enter as *transient* nodes, so a workspace-shared
+        skeleton serves a sequence of queries by bind/unbind pairs without
+        accumulating permanent per-query state.  Cached visible regions are
+        dropped (they are relative to the previous anchor).
+        """
+        if self.qseg is not None:
+            raise RuntimeError("graph is already bound to a query segment; "
+                               "unbind() first")
+        self.qseg = qseg
+        self._vr_cache.clear()
+        self.S = self.add_point(qseg.ax, qseg.ay)
+        self.E = self.add_point(qseg.bx, qseg.by)
+
+    def unbind(self) -> None:
+        """Detach the endpoints attached by :meth:`bind`."""
+        if self.qseg is None:
+            raise RuntimeError("graph is not bound")
+        if not self._transient[self.S]:
+            raise RuntimeError("graph was anchored at construction; only "
+                               "bind()-attached endpoints can be detached")
+        self.remove_point(self.E)
+        self.remove_point(self.S)
+        self.S = self.E = -1
+        self.qseg = None
+        self._vr_cache.clear()
 
     # ---------------------------------------------------------------- nodes
     def _new_node(self, x: float, y: float, transient: bool) -> int:
@@ -86,6 +143,7 @@ class LocalVisibilityGraph:
         self._alive.append(True)
         self._transient.append(transient)
         self._coords_cache = None
+        self._generation += 1
         return node
 
     def _alive_ids(self) -> List[int]:
@@ -117,11 +175,69 @@ class LocalVisibilityGraph:
         self._alive[node] = False
         self._vr_cache.pop(node, None)
         self._coords_cache = None
+        self._generation += 1
 
     @property
     def num_nodes(self) -> int:
         """Alive node count (S, E, obstacle vertices, transient points)."""
         return sum(self._alive)
+
+    @property
+    def dead_slots(self) -> int:
+        """Node slots held by removed transient nodes (compaction candidates)."""
+        return len(self._xy) - sum(self._alive)
+
+    def compact(self) -> int:
+        """Reclaim dead node slots, remapping live node ids.
+
+        Transient removal (:meth:`remove_point`, :meth:`unbind`) leaves
+        dead append-only slots behind; a long-lived shared graph serving
+        thousands of queries would otherwise grow without bound and scan
+        the dead history on every fresh adjacency row.  Compaction remaps
+        the alive nodes onto a dense prefix while *keeping every cached
+        adjacency row* — the expensive pairwise sight-line tests survive;
+        only traversal memos and visible-region caches are dropped.
+
+        Caller contract: all node ids held outside the graph (session
+        endpoints, transient data points) are invalidated — only call
+        between queries, with no transient nodes attached.
+
+        Returns:
+            Number of slots reclaimed (0 when already dense).
+        """
+        dead = self.dead_slots
+        if dead == 0:
+            return 0
+        remap: Dict[int, int] = {}
+        alive_ids: List[int] = []
+        for i, alive in enumerate(self._alive):
+            if alive:
+                remap[i] = len(alive_ids)
+                alive_ids.append(i)
+        self._xy = [self._xy[i] for i in alive_ids]
+        self._alive = [True] * len(alive_ids)
+        self._transient = [self._transient[i] for i in alive_ids]
+        # Rows only ever reference alive nodes (removal scrubs mentions),
+        # so remapping entries is total.  A row's node-count watermark
+        # records how many nodes it has wired; under the order-preserving
+        # remap that becomes the number of *alive* ids below the old mark.
+        self._rows = {remap[v]: {remap[u]: w for u, w in row.items()}
+                      for v, row in self._rows.items()}
+        self._row_marks = {
+            remap[v]: (r, s, p, bisect.bisect_left(alive_ids, n_nodes))
+            for v, (r, s, p, n_nodes) in self._row_marks.items()}
+        # A holder may itself have been removed since it was recorded (its
+        # row died with it, so the stale entry is inert) — drop those.
+        self._mentions = {remap[v]: {remap[u] for u in holders if u in remap}
+                          for v, holders in self._mentions.items()}
+        if self.S >= 0:
+            self.S = remap[self.S]
+            self.E = remap[self.E]
+        self._vr_cache.clear()
+        self._traversals.clear()
+        self._coords_cache = None
+        self._generation += 1
+        return dead
 
     @property
     def svg_size(self) -> int:
@@ -326,32 +442,47 @@ class LocalVisibilityGraph:
         return vr
 
     # -------------------------------------------------------------- dijkstra
+    def _traversal(self, source: int) -> Traversal:
+        """The memoized traversal for ``source``, rebuilt when stale.
+
+        A traversal is valid exactly while the graph is unchanged since it
+        started (generation match): node insertion can open shorter paths,
+        obstacle insertion can cut edges, and transient removal can kill
+        settled nodes — any of which falsifies the recorded tree.
+        """
+        t = self._traversals.get(source)
+        if t is not None and t.stamp == self._generation:
+            self.dijkstra_replays += 1
+            return t
+        if len(self._traversals) >= _MAX_TRAVERSAL_MEMO:
+            gen = self._generation
+            self._traversals = {s: tr for s, tr in self._traversals.items()
+                                if tr.stamp == gen}
+            while len(self._traversals) >= _MAX_TRAVERSAL_MEMO:
+                self._traversals.pop(next(iter(self._traversals)))
+        t = Traversal(self.neighbors, source,
+                      skip=lambda n: not self._alive[n],
+                      stamp=self._generation)
+        self._traversals[source] = t
+        self.dijkstra_runs += 1
+        return t
+
     def dijkstra_order(self, source: int) -> Iterator[Tuple[float, int, Optional[int]]]:
         """Yield ``(dist, node, predecessor)`` in ascending settled order.
 
         This is the traversal CPLC consumes; the caller breaks out when
         Lemma 7's cutoff fires.  Predecessor is the node visited right before
         on the shortest path (``u`` of Lemma 5), ``None`` for the source.
-        Only settled nodes ever compute their adjacency rows.
+        Only settled nodes ever compute their adjacency rows, and repeated
+        traversals from one source over an unchanged graph replay the
+        memoized shortest-path tree instead of restarting (the cost that
+        used to make ``shortest_path`` re-run a full Dijkstra per call).
         """
-        dist: Dict[int, float] = {source: 0.0}
-        pred: Dict[int, Optional[int]] = {source: None}
-        settled: Set[int] = set()
-        heap: List[Tuple[float, int]] = [(0.0, source)]
-        while heap:
-            d, node = heapq.heappop(heap)
-            if node in settled:
-                continue
-            settled.add(node)
-            yield (d, node, pred[node])
-            for nbr, w in self.neighbors(node).items():
-                if not self._alive[nbr]:
-                    continue
-                nd = d + w
-                if nd < dist.get(nbr, math.inf):
-                    dist[nbr] = nd
-                    pred[nbr] = node
-                    heapq.heappush(heap, (nd, nbr))
+        t = self._traversal(source)
+        return t.order(on_advance=self._count_settle)
+
+    def _count_settle(self, _entry: Tuple[float, int, Optional[int]]) -> None:
+        self.nodes_settled += 1
 
     def shortest_distances(self, source: int,
                            targets: Iterable[int]) -> Dict[int, float]:

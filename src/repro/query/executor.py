@@ -63,7 +63,8 @@ def execute(workspace: "Workspace", query) -> QueryResult:
         plan = query
         if (plan.workspace_version != workspace.version
                 or plan.tree_versions != tree_versions(workspace)):
-            plan = build_plan(workspace, plan.query)
+            plan = build_plan(workspace, plan.query,
+                              backend=plan.backend_override)
     else:
         plan = build_plan(workspace, query)
     return _run_plan(workspace, plan)
@@ -72,23 +73,25 @@ def execute(workspace: "Workspace", query) -> QueryResult:
 def _run_plan(ws: "Workspace", plan: QueryPlan) -> QueryResult:
     q = plan.query
     svc = ws.service
+    backend = ws.backend_for(plan.backend)
     if plan.algorithm == NAIVE_PRELOAD and not ws.cache.covered(
             Segment(0.0, 0.0, 0.0, 0.0), math.inf):
         ws.cache.prefetch_all()
     if isinstance(q, TrajectoryQuery):
-        result = svc._run_trajectory(q.waypoints, q.k, plan.config)
+        result = svc._run_trajectory(q.waypoints, q.k, plan.config, backend)
         result.query = q
         return result
     if isinstance(q, CoknnQuery):  # covers ConnQuery too
-        result = svc._run_coknn(q.segment, q.k, plan.config)
+        result = svc._run_coknn(q.segment, q.k, plan.config, backend)
         result.query = q
         return result
     if isinstance(q, OnnQuery):
         neighbors, stats = svc._run_onn(q.point.x, q.point.y, q.k,
-                                        plan.config)
+                                        plan.config, backend)
         return NeighborsResult(neighbors, stats, q)
     if isinstance(q, RangeQuery):
-        matches, stats = svc._run_range(q.point.x, q.point.y, q.radius)
+        matches, stats = svc._run_range(q.point.x, q.point.y, q.radius,
+                                        backend)
         return NeighborsResult(matches, stats, q)
     if isinstance(q, SemiJoinQuery):
         rows, stats = svc._run_semi_join(q.left, q.right)

@@ -35,6 +35,7 @@ from ..core.config import ConnConfig
 from ..geometry.rectangle import Rect
 from ..geometry.segment import Segment
 from ..index.rstar import RStarTree
+from ..routing.backends import PER_QUERY_VG, SHARED_VG
 from .queries import (
     ClosestPairQuery,
     CoknnQuery,
@@ -53,6 +54,37 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 NAIVE_PRELOAD = "naive-preload"
 """Algorithm name of the tiny-dataset fallback (exhaustive obstacle preload)."""
 
+PAIRWISE_VG = "pairwise-vg"
+"""Backend name reported for the joins' anchored pairwise oracle."""
+
+
+def _resolve_backend(workspace: "Workspace", override: Optional[str],
+                     warm: bool, spines: List[Segment]) -> str:
+    """Pick the obstructed-distance backend for an engine query.
+
+    ``auto`` prefers the workspace-shared graph whenever the workspace is
+    demonstrably warm for this query: the plan's full-radius coverage
+    check passed, the shared graph is already resident, or every spine of
+    the query lies inside a recorded coverage capsule (its neighborhood
+    was exhaustively fetched by an earlier query, so the shared skeleton
+    has the obstacles that matter and the repeat amortizes the build).
+    Cold one-shots keep the throwaway per-query graph, whose build they
+    would have to pay anyway.
+    """
+    choice = override if override is not None else workspace.planner.backend
+    if choice == "auto":
+        if warm or workspace.routing.ready:
+            return SHARED_VG
+        revisit = bool(spines) and all(
+            workspace.cache.covered(s, 0.0) for s in spines)
+        return SHARED_VG if revisit else PER_QUERY_VG
+    alias = {"shared": SHARED_VG, SHARED_VG: SHARED_VG,
+             "per-query": PER_QUERY_VG, PER_QUERY_VG: PER_QUERY_VG}
+    if choice not in alias:
+        raise ValueError(f"unknown backend {choice!r}; expected 'auto', "
+                         f"'shared' or 'per-query'")
+    return alias[choice]
+
 
 @dataclass(frozen=True)
 class PlannerOptions:
@@ -68,11 +100,19 @@ class PlannerOptions:
             space is cut into roughly ``grid_cells`` cells per axis).
         prefetch_margin_factor: safety factor applied to the capsule-derived
             prefetch margin in scheduled batches.
+        backend: obstructed-distance backend policy — ``"auto"`` (default:
+            the workspace-shared graph when the query plans warm or the
+            shared graph is already built, a per-query graph for cold
+            one-shots), ``"shared"`` / ``"per-query"`` to force one.
+            Results are identical either way (asserted by the backend
+            equivalence suite); only where the visibility-test and
+            graph-build work lands changes.
     """
 
     naive_max_points: int = 0
     grid_cells: int = 16
     prefetch_margin_factor: float = 1.25
+    backend: str = "auto"
 
 
 DEFAULT_PLANNER = PlannerOptions()
@@ -101,6 +141,18 @@ class QueryPlan:
     cached_obstacles: int
     capsules: int
     notes: Tuple[str, ...] = field(default_factory=tuple)
+    backend: str = PER_QUERY_VG
+    """The obstructed-distance backend the executor will attach
+    (``"shared-vg"``, ``"per-query-vg"``, or ``"pairwise-vg"`` for the
+    joins' anchored oracle)."""
+    backend_override: Optional[str] = None
+    """The explicit backend override this plan was built with (``None``
+    when the workspace policy decided).  Preserved so a stale prepared
+    plan re-plans under the same pin instead of silently reverting to the
+    workspace default."""
+    est_graph_builds: int = 1
+    """Full visibility-graph builds this query is priced to pay (0 when the
+    workspace-shared graph is already resident)."""
     workspace_version: int = 0
     """The :attr:`Workspace.version` this plan was built at.  The executor
     re-plans automatically when the workspace has been mutated since — a
@@ -135,6 +187,9 @@ class QueryPlan:
             f"  cache     : {self.cached_obstacles} obstacles, "
             f"{self.capsules} capsules -> {temp} "
             f"(est. {self.est_obstacle_io} obstacle-tree page reads)",
+            f"  backend   : {self.backend} "
+            f"(est. {self.est_graph_builds} visibility-graph "
+            f"build{'' if self.est_graph_builds == 1 else 's'})",
             f"  config    : {flags}",
         ]
         for note in self.notes:
@@ -204,8 +259,16 @@ def _estimate_pages(obstacle_tree: RStarTree, footprint: Optional[Rect],
     return obstacle_tree.height + max(1, math.ceil(leaf_pages * frac))
 
 
-def build_plan(workspace: "Workspace", query: Query) -> QueryPlan:
-    """Select algorithm + layout and estimate obstacle I/O for ``query``."""
+def build_plan(workspace: "Workspace", query: Query,
+               backend: Optional[str] = None) -> QueryPlan:
+    """Select algorithm + layout + backend and estimate I/O for ``query``.
+
+    Args:
+        backend: optional per-plan override of
+            :attr:`PlannerOptions.backend` (``"shared"`` / ``"per-query"``
+            / ``"auto"``); the monitor subsystem uses it to pin repair
+            sub-queries onto the workspace-shared graph.
+    """
     if not isinstance(query, Query):
         raise TypeError(f"expected a Query description, got {type(query)!r}")
     ws = workspace
@@ -232,6 +295,8 @@ def build_plan(workspace: "Workspace", query: Query) -> QueryPlan:
         return QueryPlan(query, algorithm, layout, k, cfg, footprint,
                          est_radius, warm, est_io, len(ws.cache),
                          ws.cache.coverage_regions, tuple(notes),
+                         backend=PAIRWISE_VG, est_graph_builds=1,
+                         backend_override=backend,
                          workspace_version=ws.version,
                          tree_versions=tree_versions(ws))
 
@@ -283,7 +348,22 @@ def build_plan(workspace: "Workspace", query: Query) -> QueryPlan:
         notes.append("1T unified scan reads data and obstacle pages "
                      "together; cache hits cannot skip them")
 
+    chosen = _resolve_backend(ws, backend, warm, spines)
+    if chosen == SHARED_VG:
+        builds = 0 if ws.routing.ready else 1
+        if ws.routing.ready:
+            notes.append(f"shared graph resident "
+                         f"({ws.routing.resident_obstacles} obstacles): "
+                         "visibility-graph build amortized to zero")
+        else:
+            notes.append("shared graph cold: built once from the obstacle "
+                         "cache, then reused by every later query")
+    else:
+        legs = len(spines) if isinstance(query, TrajectoryQuery) else 1
+        builds = max(1, legs)
+
     return QueryPlan(query, algorithm, layout, k, cfg, footprint, est_radius,
                      warm, est_io, len(ws.cache), ws.cache.coverage_regions,
-                     tuple(notes), workspace_version=ws.version,
+                     tuple(notes), backend=chosen, est_graph_builds=builds,
+                     backend_override=backend, workspace_version=ws.version,
                      tree_versions=tree_versions(ws))

@@ -1,0 +1,431 @@
+"""Pluggable obstructed-distance backends.
+
+The CONN/COkNN/ONN/range engines treat the obstructed-distance oracle as a
+black box: they need a graph surface to attach query endpoints and data
+points to, traverse in Dijkstra order, and feed retrieved obstacles into.
+This module makes that surface an explicit protocol
+(:class:`ObstructedDistanceBackend`) with two implementations:
+
+* :class:`PerQueryVGBackend` — today's behavior: one fresh
+  :class:`~repro.obstacles.visgraph.LocalVisibilityGraph` per query,
+  discarded afterwards.  Right for cold one-shot workspaces, and the
+  reference semantics every other backend must match.
+* :class:`SharedVGBackend` — a workspace-owned *persistent* visibility
+  graph.  The obstacle skeleton (vertices plus the lazily materialized,
+  expensive-to-test adjacency rows) survives across queries; each query
+  attaches its endpoints as transient nodes via the graph's
+  ``bind``/``unbind`` and detaches them on completion.  Announced
+  workspace updates patch the graph in place (inserts) or drop it for a
+  lazy rebuild from the obstacle cache (removals); a version guard against
+  the backing R*-tree catches unannounced mutations at attach time.
+
+Both backends hand the engine a :class:`VGSession`: the engine-facing view
+of one query's graph.  A session tracks the obstacles *admitted by this
+query* separately from what the underlying (possibly shared) graph holds,
+so the paper's NOE and |SVG| metrics — and the cache counters derived from
+them — are identical across backends.
+
+Correctness of sharing: a shared graph may contain obstacles beyond the
+ones a query's retrieval admitted.  Every such obstacle is real (it came
+from the same dataset), so distances computed on the superset are sandwiched
+between the per-query value and the true obstructed distance — and the
+engine's retrieval fixpoint (Lemma 3) drives both to the same true value.
+Results are therefore identical; only intermediate retrieval rounds (an
+I/O pattern, not an answer) may differ.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
+
+from .stats import BackendStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.stats import QueryStats
+    from ..geometry.interval import IntervalSet
+    from ..geometry.point import Point
+    from ..geometry.segment import Segment
+    from ..index.rstar import RStarTree
+    from ..obstacles.obstacle import Obstacle
+    from ..obstacles.visgraph import LocalVisibilityGraph
+
+PER_QUERY_VG = "per-query-vg"
+"""Backend name: one throwaway local visibility graph per query."""
+
+SHARED_VG = "shared-vg"
+"""Backend name: the workspace-shared incremental visibility graph."""
+
+
+@runtime_checkable
+class ObstructedGraph(Protocol):
+    """The graph surface the engines consume (a graph or a session)."""
+
+    qseg: Any
+    S: int
+    E: int
+
+    def add_point(self, x: float, y: float) -> int: ...  # pragma: no cover
+    def remove_point(self, node: int) -> None: ...  # pragma: no cover
+    def node_point(self, node: int) -> "Point": ...  # pragma: no cover
+    def add_obstacles(self, batch: Iterable["Obstacle"]) -> int: ...  # pragma: no cover
+    def dijkstra_order(self, source: int
+                       ) -> Iterator[Tuple[float, int, Optional[int]]]: ...  # pragma: no cover
+    def shortest_distances(self, source: int, targets: Iterable[int]
+                           ) -> Dict[int, float]: ...  # pragma: no cover
+    def visible_region_of(self, node: int) -> "IntervalSet": ...  # pragma: no cover
+
+
+class VGSession:
+    """One query's engine-facing view of a backend's visibility graph.
+
+    Presents exactly the :class:`ObstructedGraph` surface the engines and
+    obstacle feeds already consume, while translating between per-query
+    semantics and the (possibly shared, longer-lived) underlying graph:
+
+    * obstacle admission is tracked per session, so ``add_obstacles``
+      returns the count *new to this query* and ``svg_size`` reports this
+      query's |SVG| even when the shared graph already held everything;
+    * work counters (visibility tests, Dijkstra runs, settled nodes) are
+      reported as deltas over the session's lifetime and flushed into both
+      the backend's cumulative :class:`~repro.routing.stats.BackendStats`
+      and the query's own stats block on :meth:`detach`.
+    """
+
+    def __init__(self, backend: "ObstructedDistanceBackend",
+                 graph: "LocalVisibilityGraph", qseg: "Segment",
+                 qstats: Optional["QueryStats"], *, shared: bool,
+                 built: bool, build_time_s: float = 0.0):
+        self._backend = backend
+        self.graph = graph
+        self.qseg = qseg
+        self._qstats = qstats
+        self.shared = shared
+        self._built = built
+        self._build_time_s = build_time_s
+        self.S = graph.S
+        self.E = graph.E
+        self._admitted: Set["Obstacle"] = set()
+        self._svg_vertices = 0
+        self._vt0 = graph.visibility_tests
+        self._runs0 = graph.dijkstra_runs
+        self._replays0 = graph.dijkstra_replays
+        self._settled0 = graph.nodes_settled
+        self._closed = False
+
+    # ------------------------------------------------------- graph surface
+    def add_point(self, x: float, y: float) -> int:
+        return self.graph.add_point(x, y)
+
+    def remove_point(self, node: int) -> None:
+        self.graph.remove_point(node)
+
+    def node_point(self, node: int) -> "Point":
+        return self.graph.node_point(node)
+
+    def neighbors(self, node: int) -> Dict[int, float]:
+        return self.graph.neighbors(node)
+
+    def dijkstra_order(self, source: int
+                       ) -> Iterator[Tuple[float, int, Optional[int]]]:
+        return self.graph.dijkstra_order(source)
+
+    def shortest_distances(self, source: int, targets: Iterable[int]
+                           ) -> Dict[int, float]:
+        return self.graph.shortest_distances(source, targets)
+
+    def shortest_path(self, source: int, target: int
+                      ) -> Tuple[float, List[int]]:
+        return self.graph.shortest_path(source, target)
+
+    def visible_region_of(self, node: int) -> "IntervalSet":
+        return self.graph.visible_region_of(node)
+
+    def add_obstacles(self, batch: Iterable["Obstacle"]) -> int:
+        """Admit obstacles into this query's view (and the graph).
+
+        Returns the number new *to this session* — on a shared graph an
+        obstacle may already be resident from an earlier query, but it
+        still counts toward this query's NOE exactly as the per-query
+        backend would have counted it.
+        """
+        fresh = [o for o in batch if o not in self._admitted]
+        if not fresh:
+            return 0
+        self._admitted.update(fresh)
+        self._svg_vertices += sum(len(o.vertices()) for o in fresh)
+        self.graph.add_obstacles(fresh)
+        return len(fresh)
+
+    # ----------------------------------------------------------- accounting
+    @property
+    def svg_size(self) -> int:
+        """|SVG| of this query: endpoints plus admitted obstacle vertices."""
+        return 2 + self._svg_vertices
+
+    @property
+    def visibility_tests(self) -> int:
+        """Sight-line tests charged to this session so far."""
+        return self.graph.visibility_tests - self._vt0
+
+    # ------------------------------------------------------------ lifecycle
+    def detach(self) -> None:
+        """End the session: flush counters, release the graph.
+
+        Idempotent; on a shared backend this unbinds the query endpoints so
+        the next query can attach.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        delta = BackendStats(
+            sessions=1,
+            graphs_built=1 if self._built else 0,
+            graph_reuses=0 if self._built else (1 if self.shared else 0),
+            build_time_s=self._build_time_s,
+            dijkstra_runs=self.graph.dijkstra_runs - self._runs0,
+            dijkstra_replays=self.graph.dijkstra_replays - self._replays0,
+            nodes_settled=self.graph.nodes_settled - self._settled0,
+            visibility_tests=self.graph.visibility_tests - self._vt0,
+        )
+        self._backend.stats.merge(delta)
+        if self._qstats is not None:
+            self._qstats.backend.merge(delta)
+            self._qstats.backend_name = self._backend.name
+        self._backend._release(self)
+
+    def __enter__(self) -> "VGSession":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.detach()
+
+
+@runtime_checkable
+class ObstructedDistanceBackend(Protocol):
+    """What the planner and executor need from a distance backend."""
+
+    name: str
+    stats: BackendStats
+
+    def attach_endpoints(self, qseg: "Segment",
+                         stats: Optional["QueryStats"] = None
+                         ) -> VGSession: ...  # pragma: no cover
+
+    def shortest_distances(self, session: VGSession, source: int,
+                           targets: Iterable[int]
+                           ) -> Dict[int, float]: ...  # pragma: no cover
+
+    def dijkstra_order(self, session: VGSession, source: int
+                       ) -> Iterator[Tuple[float, int, Optional[int]]]: ...  # pragma: no cover
+
+    def note_obstacle_insert(self, obstacle: "Obstacle") -> None: ...  # pragma: no cover
+
+    def note_obstacle_remove(self, obstacle: "Obstacle") -> None: ...  # pragma: no cover
+
+
+class _BackendBase:
+    """Shared protocol plumbing: session delegation and no-op maintenance."""
+
+    name = "backend"
+
+    def __init__(self) -> None:
+        self.stats = BackendStats()
+
+    def shortest_distances(self, session: VGSession, source: int,
+                           targets: Iterable[int]) -> Dict[int, float]:
+        """Early-terminating Dijkstra distances on a session's graph."""
+        return session.shortest_distances(source, targets)
+
+    def dijkstra_order(self, session: VGSession, source: int
+                       ) -> Iterator[Tuple[float, int, Optional[int]]]:
+        """The ascending settled order a session's graph yields."""
+        return session.dijkstra_order(source)
+
+    def note_obstacle_insert(self, obstacle: "Obstacle") -> None:
+        """Announced obstacle insert; stateless backends ignore it."""
+
+    def note_obstacle_remove(self, obstacle: "Obstacle") -> None:
+        """Announced obstacle removal; stateless backends ignore it."""
+
+    def _release(self, session: VGSession) -> None:
+        """Session teardown hook (the per-query graph just gets dropped)."""
+
+
+class PerQueryVGBackend(_BackendBase):
+    """One throwaway local visibility graph per query (the paper's mode).
+
+    Stateless across queries: every :meth:`attach_endpoints` builds a fresh
+    anchored graph, so a cold one-shot pays exactly the seed algorithm's
+    cost and nothing lingers afterwards.
+    """
+
+    name = PER_QUERY_VG
+
+    def attach_endpoints(self, qseg: "Segment",
+                         stats: Optional["QueryStats"] = None) -> VGSession:
+        """Open a session on a fresh graph anchored at ``qseg``."""
+        from ..obstacles.visgraph import LocalVisibilityGraph
+
+        t0 = time.perf_counter()
+        graph = LocalVisibilityGraph(qseg)
+        return VGSession(self, graph, qseg, stats, shared=False, built=True,
+                         build_time_s=time.perf_counter() - t0)
+
+
+class SharedVGBackend(_BackendBase):
+    """A workspace-owned persistent visibility graph shared across queries.
+
+    Args:
+        obstacle_tree: the R*-tree whose ``version`` counter guards the
+            graph against unannounced mutations (the obstacle tree on 2T,
+            the unified tree on 1T).
+        cache: the workspace's obstacle cache; the graph is seeded lazily
+            from its resident obstacles (the capsules' contents) and grows
+            further as queries retrieve past the cached footprint.
+
+    The graph is built on first attach, reused by every later session, and
+    maintained by the workspace's update path: ``note_obstacle_insert``
+    patches the new obstacle in (adjacency rows self-repair lazily, exactly
+    as IOR insertion always has), ``note_obstacle_remove`` drops the graph
+    — removal cannot be patched soundly, because unblocking the edges a
+    vertex removal re-opens would mean re-testing every cached row — and
+    the next attach rebuilds from the (already-evicted) cache.  A tree
+    version mismatch at attach time means someone mutated the index behind
+    the workspace's back: the graph is dropped the same way, never served
+    stale.
+    """
+
+    name = SHARED_VG
+
+    def __init__(self, obstacle_tree: "RStarTree", cache: Any = None):
+        super().__init__()
+        self.tree = obstacle_tree
+        self.cache = cache
+        self._graph: Optional["LocalVisibilityGraph"] = None
+        self._tree_version = obstacle_tree.version
+        self._active: Optional[VGSession] = None
+        # Re-entrant attaches (a sub-query while a session is open) are
+        # served by this isolated fallback, so their work is attributed to
+        # per-query stats — never misreported as shared-graph reuse.
+        self._fallback = PerQueryVGBackend()
+
+    # ---------------------------------------------------------- maintenance
+    @property
+    def ready(self) -> bool:
+        """True when the shared graph is built (the planner's warm signal)."""
+        return self._graph is not None
+
+    @property
+    def resident_obstacles(self) -> int:
+        """Obstacles currently resident in the shared graph (0 when down)."""
+        return len(self._graph.obstacles) if self._graph is not None else 0
+
+    def _drop(self) -> None:
+        self._graph = None
+
+    def invalidate(self) -> None:
+        """Drop the shared graph (rebuilds lazily on next attach)."""
+        if self._graph is not None:
+            self.stats.invalidations += 1
+        self._drop()
+
+    def sync_tree_version(self) -> None:
+        """Adopt the tree's version for mutations that cannot affect the
+        graph (data-point updates on a 1T unified tree)."""
+        self._tree_version = self.tree.version
+
+    def _absorb_announced_mutation(self) -> bool:
+        """Version bookkeeping shared by the two ``note_obstacle_*`` hooks.
+
+        Mirrors the obstacle cache's guard: surgical repair is only sound
+        when the announced mutation is the *only* thing that happened to
+        the tree since the last sync.
+        """
+        if self.tree.version != self._tree_version + 1:
+            self.invalidate()
+            self._tree_version = self.tree.version
+            return False
+        self._tree_version = self.tree.version
+        return True
+
+    def note_obstacle_insert(self, obstacle: "Obstacle") -> None:
+        """Patch an announced insert into the live graph.
+
+        Vertices register immediately; cached adjacency rows repair
+        themselves lazily on next access (the same incremental mechanism
+        IOR insertion uses), so the patch is O(vertices) here.
+        """
+        if not self._absorb_announced_mutation():
+            return
+        if self._graph is not None:
+            self._graph.add_obstacles([obstacle])
+            self.stats.patched += 1
+
+    def note_obstacle_remove(self, obstacle: "Obstacle") -> None:
+        """Handle an announced removal: drop the graph for a lazy rebuild."""
+        if not self._absorb_announced_mutation():
+            return
+        if self._graph is not None:
+            self.stats.evicted += 1
+            self._drop()
+
+    # ------------------------------------------------------------- sessions
+    def attach_endpoints(self, qseg: "Segment",
+                         stats: Optional["QueryStats"] = None) -> VGSession:
+        """Bind a query's endpoints to the shared graph.
+
+        Only one session can hold the shared graph at a time; a nested
+        attach (a sub-query issued while a session is open) falls back to
+        an isolated per-query session so re-entrancy can never corrupt
+        the shared skeleton — attributed to the fallback's per-query
+        stats, not to this backend's sharing counters.
+        """
+        from ..obstacles.visgraph import LocalVisibilityGraph
+
+        if self.tree.version != self._tree_version:
+            self.invalidate()
+            self._tree_version = self.tree.version
+        if self._active is not None:
+            return self._fallback.attach_endpoints(qseg, stats)
+        built = self._graph is None
+        build_time = 0.0
+        if built:
+            t0 = time.perf_counter()
+            seed = self.cache.obstacles if self.cache is not None else ()
+            self._graph = LocalVisibilityGraph(obstacles=list(seed))
+            build_time = time.perf_counter() - t0
+        self._graph.bind(qseg)
+        session = VGSession(self, self._graph, qseg, stats, shared=True,
+                            built=built, build_time_s=build_time)
+        self._active = session
+        return session
+
+    def _release(self, session: VGSession) -> None:
+        if session is not self._active:
+            return
+        self._active = None
+        graph = session.graph
+        if graph.qseg is not None:
+            graph.unbind()
+        # Every query leaves its transient endpoints and evaluated data
+        # points behind as dead append-only slots; compact once they
+        # outnumber the live skeleton so a long-lived workspace stays
+        # O(obstacle vertices), not O(queries ever served).  Cached
+        # adjacency rows — the amortized asset — survive compaction.
+        if graph is self._graph and \
+                graph.dead_slots > max(64, graph.num_nodes):
+            graph.compact()
+            self.stats.compactions += 1

@@ -1,0 +1,149 @@
+"""The library's one Dijkstra: a resumable, replayable traversal.
+
+Every shortest-path consumer in the repository — the local visibility
+graph's ``dijkstra_order`` (which CPLC, IOR and the ONN/range scans drive),
+the full-graph reference oracle of :mod:`repro.obstacles.obstructed`, and
+the FULL baseline of :mod:`repro.baselines.global_vg` — runs on this class,
+so there is exactly one implementation of the expansion loop to test and
+optimize.
+
+Two properties make it more than a plain loop:
+
+* **Resumable.**  A consumer that stops early (an early-terminating
+  ``shortest_distances``, Lemma 7's CPLC cutoff) leaves the heap and
+  tentative distances intact; the next consumer continues expanding from
+  the frontier instead of restarting.
+* **Replayable.**  The settled prefix is recorded in order, so repeated
+  traversals from the same source over an unchanged graph replay the
+  memoized shortest-path tree for free.  Validity across graph mutations
+  is the *owner's* responsibility: the visibility graph stamps each
+  traversal with its mutation generation and discards mismatches.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+Adjacency = Callable[[int], Mapping[int, float]]
+"""Lazily supplied adjacency: node -> {neighbor: edge weight}."""
+
+SettledEntry = Tuple[float, int, Optional[int]]
+"""One settled node: ``(distance, node, shortest-path predecessor)``."""
+
+
+class Traversal:
+    """A single-source best-first expansion with a memoized settled prefix.
+
+    Args:
+        neighbors: adjacency callback, invoked once per settled node (so
+            lazily materialized rows are only paid for nodes the traversal
+            actually reaches).
+        source: the source node.
+        skip: optional predicate; neighbors for which it returns True are
+            never relaxed (the visibility graph uses it to exclude
+            removed transient nodes).
+        stamp: opaque validity token recorded for the owner; the traversal
+            itself never inspects it.
+    """
+
+    __slots__ = ("_neighbors", "_skip", "source", "dist", "pred",
+                 "settled", "_heap", "_done", "stamp")
+
+    def __init__(self, neighbors: Adjacency, source: int,
+                 skip: Optional[Callable[[int], bool]] = None,
+                 stamp: Any = None):
+        self._neighbors = neighbors
+        self._skip = skip
+        self.source = source
+        self.dist: Dict[int, float] = {source: 0.0}
+        self.pred: Dict[int, Optional[int]] = {source: None}
+        self.settled: List[SettledEntry] = []
+        self._heap: List[Tuple[float, int]] = [(0.0, source)]
+        self._done: set = set()
+        self.stamp = stamp
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no frontier remains (every reachable node settled)."""
+        return not self._heap
+
+    def advance(self) -> Optional[SettledEntry]:
+        """Settle and record the next node; ``None`` when exhausted."""
+        skip = self._skip
+        while self._heap:
+            d, node = heapq.heappop(self._heap)
+            if node in self._done:
+                continue
+            self._done.add(node)
+            entry = (d, node, self.pred[node])
+            self.settled.append(entry)
+            for nbr, w in self._neighbors(node).items():
+                if skip is not None and skip(nbr):
+                    continue
+                nd = d + w
+                if nd < self.dist.get(nbr, math.inf):
+                    self.dist[nbr] = nd
+                    self.pred[nbr] = node
+                    heapq.heappush(self._heap, (nd, nbr))
+            return entry
+        return None
+
+    def order(self, on_advance: Optional[Callable[[SettledEntry], None]]
+              = None) -> Iterator[SettledEntry]:
+        """Yield ``(dist, node, pred)`` ascending: replay, then extend.
+
+        Multiple iterators over one traversal are safe: each keeps its own
+        replay cursor, and whichever reaches the frontier first extends the
+        shared settled prefix for the others.
+
+        Args:
+            on_advance: invoked once per *freshly settled* node (replayed
+                prefix entries excluded) — the owner's counter hook.
+        """
+        i = 0
+        while True:
+            if i < len(self.settled):
+                yield self.settled[i]
+                i += 1
+            else:
+                entry = self.advance()
+                if entry is None:
+                    return
+                if on_advance is not None:
+                    on_advance(entry)
+
+    def run_to_completion(self) -> None:
+        """Settle every reachable node (the classic eager Dijkstra)."""
+        while self.advance() is not None:
+            pass
+
+
+def dijkstra_all(adj: List[Mapping[int, float]], source: int
+                 ) -> Tuple[List[float], List[int]]:
+    """Eager single-source shortest paths over a dense adjacency list.
+
+    The drop-in replacement for the reference oracle's historical private
+    Dijkstra: returns ``(dist, pred)`` arrays indexed by node, with ``inf``
+    / ``-1`` for unreachable nodes.
+    """
+    t = Traversal(adj.__getitem__, source)
+    t.run_to_completion()
+    n = len(adj)
+    dist = [t.dist.get(i, math.inf) for i in range(n)]
+    pred = [-1] * n
+    for i in range(n):
+        p = t.pred.get(i)
+        if p is not None:
+            pred[i] = p
+    return dist, pred

@@ -1,0 +1,88 @@
+"""Counters attributing obstructed-distance work to its routing backend.
+
+One :class:`BackendStats` block lives on every backend (cumulative across
+the workspace's lifetime) and another on every
+:class:`~repro.core.stats.QueryStats` (that query's share), so warm/cold
+benchmarks can attribute time to graph build vs Dijkstra vs visibility
+tests without instrumenting the engine.
+
+This module is deliberately import-free within the package: it is the
+bottom of the routing dependency stack (``core.stats`` imports it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BackendStats:
+    """Work performed by an obstructed-distance backend.
+
+    The split mirrors where OkNN engines actually spend their time (Zhao
+    et al. 2018): building the distance substrate (``graphs_built`` /
+    ``build_time_s``), traversing it (``dijkstra_runs`` /
+    ``nodes_settled``), and testing sight lines (``visibility_tests``).
+    """
+
+    sessions: int = 0
+    """Query endpoint attachments served (one per executed query leg)."""
+
+    graphs_built: int = 0
+    """Full visibility-graph constructions (the cost a shared backend
+    amortizes away: per-query backends pay one per session)."""
+
+    graph_reuses: int = 0
+    """Sessions served by an already-built workspace-shared graph."""
+
+    build_time_s: float = 0.0
+    """Wall-clock time spent constructing/seeding visibility graphs."""
+
+    dijkstra_runs: int = 0
+    """Fresh single-source traversals started (no memoized tree to serve)."""
+
+    dijkstra_replays: int = 0
+    """Traversals answered by replaying/resuming a memoized
+    shortest-path tree of an already-settled source."""
+
+    nodes_settled: int = 0
+    """Graph nodes settled by fresh traversal work (replays excluded)."""
+
+    visibility_tests: int = 0
+    """Sight-line tests performed while adjacency rows materialized."""
+
+    patched: int = 0
+    """Announced obstacle inserts patched into a shared graph in place."""
+
+    evicted: int = 0
+    """Announced obstacle removals that dropped the shared graph (vertex
+    removal cannot be proven sound in place; the graph rebuilds lazily)."""
+
+    invalidations: int = 0
+    """Shared graphs dropped by the version guard (unannounced obstacle
+    tree mutations observed at attach time)."""
+
+    compactions: int = 0
+    """In-place compactions of a shared graph's dead node slots (cached
+    adjacency rows survive; only node ids are remapped)."""
+
+    @property
+    def replay_rate(self) -> float:
+        """Fraction of traversals served from memoized shortest-path trees."""
+        total = self.dijkstra_runs + self.dijkstra_replays
+        return self.dijkstra_replays / total if total else 0.0
+
+    def merge(self, other: "BackendStats") -> None:
+        """Accumulate another block's counters into this one."""
+        self.sessions += other.sessions
+        self.graphs_built += other.graphs_built
+        self.graph_reuses += other.graph_reuses
+        self.build_time_s += other.build_time_s
+        self.dijkstra_runs += other.dijkstra_runs
+        self.dijkstra_replays += other.dijkstra_replays
+        self.nodes_settled += other.nodes_settled
+        self.visibility_tests += other.visibility_tests
+        self.patched += other.patched
+        self.evicted += other.evicted
+        self.invalidations += other.invalidations
+        self.compactions += other.compactions

@@ -45,7 +45,6 @@ from ..geometry.rectangle import Rect
 from ..geometry.segment import Segment
 from ..index.rstar import RStarTree
 from ..obstacles.obstacle import Obstacle
-from ..obstacles.visgraph import LocalVisibilityGraph
 from ..query.executor import execute as _execute
 from ..query.executor import execute_many as _execute_many
 from ..query.executor import stream as _stream
@@ -64,6 +63,14 @@ from ..query.queries import (
     as_range_args,
 )
 from ..query.results import QueryResult
+from ..routing.backends import (
+    PER_QUERY_VG,
+    SHARED_VG,
+    ObstructedDistanceBackend,
+    ObstructedGraph,
+    PerQueryVGBackend,
+    SharedVGBackend,
+)
 from .cache import CacheStats, ObstacleCache
 from .updates import (
     AddObstacle,
@@ -84,7 +91,7 @@ class _CachingUnifiedSource(UnifiedSource):
     """
 
     def __init__(self, tree: RStarTree, qseg: Segment,
-                 vg: LocalVisibilityGraph, stats: QueryStats,
+                 vg: ObstructedGraph, stats: QueryStats,
                  cache: ObstacleCache):
         super().__init__(tree, qseg, vg, stats)
         self._cache = cache
@@ -134,6 +141,13 @@ class Workspace:
         self.cache = ObstacleCache(
             obstacle_tree if obstacle_tree is not None else unified_tree,
             overfetch=overfetch)
+        backing = obstacle_tree if obstacle_tree is not None else unified_tree
+        self.routing = SharedVGBackend(backing, self.cache)
+        """The workspace-shared obstructed-distance backend: one persistent
+        visibility graph, patched by :meth:`apply` and selected by the
+        planner for warm queries (see :mod:`repro.routing`)."""
+        self.per_query_backend = PerQueryVGBackend()
+        """The throwaway-graph backend cold one-shot queries run on."""
         self._service = QueryService(self)
         self.version = 0
         """Workspace mutation counter: bumped by every applied update.
@@ -264,17 +278,20 @@ class Workspace:
             # points are invisible to obstacle coverage: adopt, don't drop.
             if applied and self.layout == "1T":
                 self.cache.sync_tree_version()
+                self.routing.sync_tree_version()
         elif isinstance(update, (AddObstacle, RemoveObstacle)):
             tree = (self.obstacle_tree if self.layout == "2T"
                     else self.unified_tree)
             if isinstance(update, AddObstacle):
                 tree.insert(update.obstacle, update.obstacle.mbr())
                 self.cache.note_obstacle_insert(update.obstacle)
+                self.routing.note_obstacle_insert(update.obstacle)
                 applied = True
             else:
                 applied = tree.delete(update.obstacle, update.obstacle.mbr())
                 if applied:
                     self.cache.note_obstacle_remove(update.obstacle)
+                    self.routing.note_obstacle_remove(update.obstacle)
         else:
             raise TypeError(f"unknown update type {type(update).__name__}")
         if applied:
@@ -289,14 +306,30 @@ class Workspace:
         """The query service bound to this workspace."""
         return self._service
 
-    def plan(self, query: Query) -> QueryPlan:
-        """Plan a typed query: algorithm, layout, estimated obstacle I/O.
+    def backend_for(self, name: str) -> Optional[ObstructedDistanceBackend]:
+        """Resolve a planned backend name to the workspace's instance.
+
+        ``None`` for backends the engines do not attach (the joins'
+        pairwise oracle manages its own graph).
+        """
+        if name == SHARED_VG:
+            return self.routing
+        if name == PER_QUERY_VG:
+            return self.per_query_backend
+        return None
+
+    def plan(self, query: Query, backend: Optional[str] = None) -> QueryPlan:
+        """Plan a typed query: algorithm, layout, backend, estimated I/O.
 
         The returned plan renders a human-readable transcript via
         ``plan.explain()`` and can be passed to :meth:`execute` to run
         exactly as planned.
+
+        Args:
+            backend: override the workspace's backend policy for this plan
+                (``"shared"`` / ``"per-query"`` / ``"auto"``).
         """
-        return build_plan(self, query)
+        return build_plan(self, query, backend=backend)
 
     def execute(self, query: Query | QueryPlan) -> QueryResult:
         """Execute one typed query (or a prepared plan).
@@ -396,7 +429,12 @@ class QueryService:
     def _config(self, config: Optional[ConnConfig]) -> ConnConfig:
         return config if config is not None else self._ws.config
 
-    def _open(self, anchor: Segment, vg: LocalVisibilityGraph,
+    def _backend(self, backend: Optional[ObstructedDistanceBackend]
+                 ) -> ObstructedDistanceBackend:
+        return (backend if backend is not None
+                else self._ws.per_query_backend)
+
+    def _open(self, anchor: Segment, vg: ObstructedGraph,
               stats: QueryStats, data_source_factory):
         """Layout dispatch shared by every query kind.
 
@@ -435,15 +473,17 @@ class QueryService:
         return self._ws.execute(ConnQuery(query, config=config))
 
     def _run_coknn(self, query: Segment, k: int,
-                   config: Optional[ConnConfig]) -> ConnResult:
+                   config: Optional[ConnConfig],
+                   backend: Optional[ObstructedDistanceBackend] = None
+                   ) -> ConnResult:
         cfg = self._config(config)
         stats = QueryStats()
-        vg = LocalVisibilityGraph(query)
-        source, retriever, trackers, finish = self._open(
-            query, vg, stats,
-            lambda: TreeDataSource(self._ws.data_tree, query))
-        result = run_query(source, retriever, vg, query, k, cfg, trackers,
-                           stats)
+        with self._backend(backend).attach_endpoints(query, stats) as vg:
+            source, retriever, trackers, finish = self._open(
+                query, vg, stats,
+                lambda: TreeDataSource(self._ws.data_tree, query))
+            result = run_query(source, retriever, vg, query, k, cfg,
+                               trackers, stats)
         finish()
         return result
 
@@ -460,16 +500,18 @@ class QueryService:
         return self._ws.onn(x, y, k=k, config=config)
 
     def _run_onn(self, x: float, y: float, k: int,
-                 config: Optional[ConnConfig]
+                 config: Optional[ConnConfig],
+                 backend: Optional[ObstructedDistanceBackend] = None
                  ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
         cfg = self._config(config)
         stats = QueryStats()
         anchor = Segment(x, y, x, y)
-        vg = LocalVisibilityGraph(anchor)
-        source, retriever, trackers, finish = self._open(
-            anchor, vg, stats, lambda: PointScan(self._ws.data_tree, x, y))
-        neighbors = run_onn_scan(source, retriever, vg, k, cfg, stats,
-                                 trackers)
+        with self._backend(backend).attach_endpoints(anchor, stats) as vg:
+            source, retriever, trackers, finish = self._open(
+                anchor, vg, stats,
+                lambda: PointScan(self._ws.data_tree, x, y))
+            neighbors = run_onn_scan(source, retriever, vg, k, cfg, stats,
+                                     trackers)
         finish()
         return neighbors, stats
 
@@ -479,15 +521,17 @@ class QueryService:
         """All points within obstructed distance ``radius`` of a point."""
         return self._ws.range(x, y, radius)
 
-    def _run_range(self, x: float, y: float, radius: float
+    def _run_range(self, x: float, y: float, radius: float,
+                   backend: Optional[ObstructedDistanceBackend] = None
                    ) -> Tuple[List[Tuple[Any, float]], QueryStats]:
         stats = QueryStats()
         anchor = Segment(x, y, x, y)
-        vg = LocalVisibilityGraph(anchor)
-        source, retriever, trackers, finish = self._open(
-            anchor, vg, stats, lambda: PointScan(self._ws.data_tree, x, y))
-        matches = run_range_scan(source, retriever, vg, radius, stats,
-                                 trackers)
+        with self._backend(backend).attach_endpoints(anchor, stats) as vg:
+            source, retriever, trackers, finish = self._open(
+                anchor, vg, stats,
+                lambda: PointScan(self._ws.data_tree, x, y))
+            matches = run_range_scan(source, retriever, vg, radius, stats,
+                                     trackers)
         finish()
         return matches, stats
 
@@ -511,14 +555,15 @@ class QueryService:
         return self._ws.trajectory(waypoints, k=k, config=config)
 
     def _run_trajectory(self, waypoints: Sequence[Tuple[float, float]],
-                        k: int, config: Optional[ConnConfig]
+                        k: int, config: Optional[ConnConfig],
+                        backend: Optional[ObstructedDistanceBackend] = None
                         ) -> TrajectoryResult:
         legs: List[ConnResult] = []
         for (ax, ay), (bx, by) in zip(waypoints, waypoints[1:]):
             seg = Segment(float(ax), float(ay), float(bx), float(by))
             if seg.is_degenerate():
                 continue
-            legs.append(self._run_coknn(seg, k, config))
+            legs.append(self._run_coknn(seg, k, config, backend))
         if not legs:
             raise ValueError("trajectory has no leg of positive length")
         return TrajectoryResult(waypoints, legs, k)

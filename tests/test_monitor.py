@@ -355,3 +355,45 @@ def test_segment_monitor_exact_after_interleaved_batch(rng):
     mutated = [p for p in points if p[0] != points[4][0]]
     mutated.append(("s1", (70.0, 20.0)))
     assert_monitor_fresh(m, mutated, obstacles + [new_obs])
+
+
+def test_repair_spans_reuse_workspace_backend():
+    """Repair spans and reruns run on the workspace-shared routing backend.
+
+    A monitor storm is exactly the correlated workload the shared
+    incremental visibility graph exists for: across many repairs the
+    workspace builds its shared graph at most once per graph-dropping
+    update, every repair span reuses it, and announced obstacle inserts
+    are patched in place rather than triggering rebuilds.
+    """
+    points = [(i, (12.0 * i + 5.0, 48.0)) for i in range(8)]
+    obstacles = [RectObstacle(30, 40, 40, 60)]
+    ws = Workspace.from_points(points, obstacles)
+    seg = Segment(0, 50, 100, 50)
+    m = ws.monitors.register(ConnQuery(seg))
+    assert ws.routing.stats.sessions == 0  # initial run was a cold one-shot
+
+    maintained = 0
+    for i in range(4):
+        # Small obstacles right next to the segment: guaranteed affecting.
+        ws.add_obstacle(RectObstacle(15.0 + 18.0 * i, 46.0,
+                                     17.0 + 18.0 * i, 49.0))
+        maintained += 1
+        assert m.events[-1].action in (REPAIR, RERUN)
+        assert m.result.stats.backend_name == "shared-vg"
+    assert maintained == 4
+
+    rs = ws.routing.stats
+    assert rs.sessions >= maintained  # every maintenance span attached
+    assert rs.graphs_built == 1       # built once, never rebuilt...
+    assert rs.graph_reuses >= maintained - 1  # ...and reused across spans
+    # Every insert after the shared graph existed was patched in place
+    # (the first one preceded the first repair, so no graph existed yet).
+    assert rs.patched == maintained - 1
+    assert rs.invalidations == 0
+
+    # The standing result stays exact on the shared substrate.
+    assert_monitor_fresh(m, points,
+                         obstacles + [RectObstacle(15.0 + 18.0 * i, 46.0,
+                                                   17.0 + 18.0 * i, 49.0)
+                                      for i in range(4)])
