@@ -1,0 +1,46 @@
+"""Machine-readable benchmark emission (the perf-trajectory artifact).
+
+Every benchmark that participates in the performance trajectory merges one
+section into a single JSON file (default ``BENCH_PR5.json`` at the
+repository root, override with ``--json`` or the ``BENCH_JSON`` environment
+variable).  CI uploads the file as a build artifact, so speedups are
+diffable across PRs instead of living in log scrollback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+
+
+def emit(section: str, payload: Dict[str, Any],
+         path: "str | os.PathLike | None" = None) -> Path:
+    """Merge ``payload`` under ``section`` into the benchmark JSON file.
+
+    Existing sections from other benchmarks are preserved; re-running a
+    benchmark overwrites only its own section.  Host metadata rides along
+    so numbers are interpretable later.
+    """
+    target = Path(path or os.environ.get("BENCH_JSON") or DEFAULT_PATH)
+    data: Dict[str, Any] = {}
+    if target.exists():
+        try:
+            data = json.loads(target.read_text())
+        except (ValueError, OSError):
+            data = {}
+    payload = dict(payload)
+    payload["host"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    data[section] = payload
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return target

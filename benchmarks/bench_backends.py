@@ -37,6 +37,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from _emit import emit
+
 from repro import (
     ConnQuery,
     PlannerOptions,
@@ -208,6 +210,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--updates", type=int, default=10)
     parser.add_argument("--page-size", type=int, default=256)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--json", default=None,
+                        help="benchmark JSON path (default BENCH_PR5.json)")
     args = parser.parse_args(argv)
 
     failures = []
@@ -238,6 +242,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if s_storm["sessions"] > 0 and \
             s_storm["builds"] >= s_storm["sessions"]:
         failures.append("monitor repairs did not reuse the shared graph")
+
+    def strip(row: dict) -> dict:
+        return {k: v for k, v in row.items() if k != "answers"}
+
+    emit("bench_backends", {
+        "workload": {"queries": args.queries, "points": args.points,
+                     "monitors": args.monitors, "updates": args.updates,
+                     "seed": args.seed},
+        "repeated_query": {"shared": strip(shared), "per_query": strip(per)},
+        "monitor_storm": {"shared": strip(s_storm),
+                          "per_query": strip(p_storm)},
+        "identical_results": not failures,
+    }, path=args.json)
 
     if failures:
         for f in failures:

@@ -63,6 +63,7 @@ from .query import (
     ClosestPairQuery,
     ClosestPairResult,
     CoknnQuery,
+    ConcurrencyStats,
     ConnQuery,
     EDistanceJoinQuery,
     JoinResult,
@@ -93,13 +94,17 @@ from .service import (
     AddObstacle,
     AddSite,
     CachedObstacleView,
+    CacheReadView,
     CacheStats,
     Capsule,
     ObstacleCache,
     QueryService,
+    ReadWriteLock,
     RemoveObstacle,
     RemoveSite,
+    SnapshotExpired,
     Workspace,
+    WorkspaceSnapshot,
 )
 from .obstacles import (
     LocalVisibilityGraph,
@@ -113,15 +118,17 @@ from .obstacles import (
     visible_region,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AddObstacle",
     "AddSite",
     "BackendStats",
+    "CacheReadView",
     "CacheStats",
     "Capsule",
     "CachedObstacleView",
+    "ConcurrencyStats",
     "ClosestPairQuery",
     "ClosestPairResult",
     "CoknnQuery",
@@ -157,6 +164,7 @@ __all__ = [
     "QueryService",
     "QueryStats",
     "RStarTree",
+    "ReadWriteLock",
     "RangeQuery",
     "Rect",
     "RectObstacle",
@@ -167,10 +175,12 @@ __all__ = [
     "SegmentObstacle",
     "SemiJoinQuery",
     "SharedVGBackend",
+    "SnapshotExpired",
     "TrajectoryQuery",
     "TrajectoryResult",
     "VGSession",
     "Workspace",
+    "WorkspaceSnapshot",
     "build_unified_tree",
     "cknn_euclidean",
     "cnn_euclidean",

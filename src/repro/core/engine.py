@@ -228,7 +228,7 @@ def run_query(source: DataSource, retriever: ObstacleSource,
     workspace-shared substrates without touching this loop.
     """
     stats = stats if stats is not None else QueryStats()
-    snapshots = [(t, t.stats.snapshot()) for t in trackers]
+    snapshots = [(t, t.local_stats.snapshot()) for t in trackers]
     started = time.perf_counter()
     env = KEnvelope(qseg, k)
     while True:
@@ -245,7 +245,7 @@ def run_query(source: DataSource, retriever: ObstacleSource,
     stats.svg_size = vg.svg_size
     stats.visibility_tests = vg.visibility_tests
     for tracker, snap in snapshots:
-        delta = tracker.stats.delta(snap)
+        delta = tracker.local_stats.delta(snap)
         stats.io.logical_reads += delta.logical_reads
         stats.io.page_faults += delta.page_faults
     return ConnResult(qseg, k, env.levels, stats)

@@ -89,7 +89,7 @@ def run_onn_scan(source, retriever: ObstacleSource,
     Returns:
         Up to ``k`` ``(payload, obstructed_distance)`` pairs, ascending.
     """
-    snapshots = [(t, t.stats.snapshot()) for t in trackers]
+    snapshots = [(t, t.local_stats.snapshot()) for t in trackers]
     started = time.perf_counter()
     best: List[Tuple[float, Any]] = []
     while True:
@@ -112,7 +112,7 @@ def run_onn_scan(source, retriever: ObstacleSource,
     stats.svg_size = vg.svg_size
     stats.visibility_tests = vg.visibility_tests
     for tracker, snap in snapshots:
-        delta = tracker.stats.delta(snap)
+        delta = tracker.local_stats.delta(snap)
         stats.io.logical_reads += delta.logical_reads
         stats.io.page_faults += delta.page_faults
     return [(payload, d) for d, payload in best[:k]]

@@ -38,7 +38,7 @@ def run_range_scan(source, retriever: ObstacleSource,
         ``(payload, obstructed_distance)`` pairs within ``radius``,
         ascending by distance.
     """
-    snapshots = [(t, t.stats.snapshot()) for t in trackers]
+    snapshots = [(t, t.local_stats.snapshot()) for t in trackers]
     started = time.perf_counter()
     matches: List[Tuple[float, Any]] = []
     while True:
@@ -59,7 +59,7 @@ def run_range_scan(source, retriever: ObstacleSource,
     stats.svg_size = vg.svg_size
     stats.visibility_tests = vg.visibility_tests
     for tracker, snap in snapshots:
-        delta = tracker.stats.delta(snap)
+        delta = tracker.local_stats.delta(snap)
         stats.io.logical_reads += delta.logical_reads
         stats.io.page_faults += delta.page_faults
     return [(payload, d) for d, payload in matches]

@@ -38,6 +38,18 @@ _RESIDUAL_TOL = 1e-6
 _ROOT_MERGE = 1e-9
 """Roots closer than this collapse into one."""
 
+_ROOT_COALESCE = 1e-6
+"""Polished roots closer than this (relative to the interval span) are one
+tie point.
+
+Near a tangency the residual is locally *quadratic* in ``t``, so Newton
+cannot separate the two quadratic roots below roughly ``sqrt(eps)`` of the
+coordinate scale; polishing the pair from slightly different seeds can
+land them ``~1e-7`` apart and, with a tighter merge radius, report one
+double root as two distinct split points in one argument order but not
+the other.  Two genuine transversal crossings this close bound a piece
+far below the envelope's merge tolerance — collapsing them is lossless."""
+
 
 def dist_quadratic(qseg: Segment, px: float, py: float) -> Tuple[float, float]:
     """Coefficients ``(b, c)`` with ``dist(p, q(t))^2 = t^2 + b t + c``.
@@ -122,6 +134,17 @@ def crossing_params(qseg: Segment,
                 candidates.append(qq / a_coef)
                 if qq != 0.0:
                     candidates.append(c_coef / qq)
+        # Degenerate identity: when both control points lie *on* the query
+        # line, the two path functions are piecewise linear in ``t`` and can
+        # coincide on a whole ray (e.g. ``t`` vs ``1 + |t - 1|`` for
+        # ``t >= 1``).  Squaring then collapses to ``0 = 0`` — no quadratic
+        # or linear coefficient survives — yet the tie set has a genuine
+        # boundary: the cone apex (the parameter where a distance hits
+        # zero and the linearization changes slope).  Offer both apexes as
+        # candidates; the residual filter keeps only real tie points.
+        for b_i, c_i in ((b1, c1), (b2, c2)):
+            if c_i - 0.25 * b_i * b_i <= 1e-12 * max(c_i, 1.0):
+                candidates.append(-0.5 * b_i)
 
     margin = max((hi - lo) * 1e-12, _ROOT_MERGE)
     roots: List[float] = []
@@ -143,7 +166,8 @@ def crossing_params(qseg: Segment,
         ref = max(u_base + _value(b1, c1, t), 1.0)
         if abs(residual(t)) > _RESIDUAL_TOL * max(1.0, ref * 1e-6) + _RESIDUAL_TOL:
             continue  # spurious root from squaring
-        if all(abs(t - r) > _ROOT_MERGE * max(1.0, abs(t)) for r in roots):
+        coalesce = _ROOT_COALESCE * max(1.0, abs(t), hi - lo)
+        if all(abs(t - r) > coalesce for r in roots):
             roots.append(t)
     roots.sort()
     return roots

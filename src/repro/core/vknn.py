@@ -41,7 +41,7 @@ def vknn(data_tree: RStarTree, obstacle_tree: RStarTree,
     if k < 1:
         raise ValueError("k must be at least 1")
     stats = QueryStats()
-    snapshots = [(t, t.stats.snapshot())
+    snapshots = [(t, t.local_stats.snapshot())
                  for t in (data_tree.tracker, obstacle_tree.tracker)]
     started = time.perf_counter()
     anchor = Segment(x, y, x, y)
@@ -62,7 +62,7 @@ def vknn(data_tree: RStarTree, obstacle_tree: RStarTree,
     stats.cpu_time_s += time.perf_counter() - started
     stats.svg_size = vg.svg_size
     for tracker, snap in snapshots:
-        delta = tracker.stats.delta(snap)
+        delta = tracker.local_stats.delta(snap)
         stats.io.logical_reads += delta.logical_reads
         stats.io.page_faults += delta.page_faults
     return found, stats

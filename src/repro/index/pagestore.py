@@ -9,6 +9,7 @@ benchmark harness can report the same metrics.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from .buffer import LRUBuffer
@@ -49,11 +50,34 @@ class PageTracker:
 
     With no buffer attached (the paper's default, ``bs = 0``), every logical
     read is a page fault.
+
+    Two counter views are maintained: :attr:`stats` (cumulative across every
+    thread that ever touched the tree — what benchmark totals read) and
+    :attr:`local_stats` (this thread's share).  Per-query attribution must
+    snapshot/delta the *thread-local* view: a parallel executor runs several
+    queries against one tree at once, and deltas over the shared counters
+    would charge each query with its concurrent neighbors' page reads.
     """
 
     buffer: LRUBuffer | None = None
     stats: IOStats = field(default_factory=IOStats)
     _next_page: int = 0
+    _tls: threading.local = field(default_factory=threading.local,
+                                  repr=False, compare=False)
+
+    @property
+    def local_stats(self) -> IOStats:
+        """The calling thread's private read/fault counters.
+
+        Lazily created per thread; bumped by every :meth:`access` alongside
+        the shared :attr:`stats`.  ``pages_allocated`` stays global-only
+        (allocation happens on the mutation path, under the workspace's
+        write lock).
+        """
+        stats = getattr(self._tls, "stats", None)
+        if stats is None:
+            stats = self._tls.stats = IOStats()
+        return stats
 
     def allocate(self) -> int:
         """Allocate a fresh page id."""
@@ -70,9 +94,12 @@ class PageTracker:
 
     def access(self, page_id: int) -> None:
         """Record one logical read of ``page_id``."""
+        local = self.local_stats
         self.stats.logical_reads += 1
+        local.logical_reads += 1
         if self.buffer is None or not self.buffer.access(page_id):
             self.stats.page_faults += 1
+            local.page_faults += 1
 
     def attach_buffer(self, buffer: LRUBuffer | None) -> None:
         """Attach (or detach with ``None``) a buffer pool."""

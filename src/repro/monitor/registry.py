@@ -54,6 +54,15 @@ class MonitorRegistry:
         self._monitors: Dict[int, Monitor] = {}
         self._ids = itertools.count(1)
         self.stats = MaintenanceStats()
+        self.repair_workers = 1
+        """Worker threads for fanning one update out to dirty monitors.
+        ``1`` (default) repairs serially in registration order.  With more
+        workers, independent monitors repair concurrently against one
+        snapshot of the freshly updated workspace: each repair takes its
+        own read hold, every monitor's state is touched only by its own
+        worker, and shared machinery (obstacle cache, routing backend)
+        is crossed through the same locks parallel queries use.  Events
+        and stats are collected in registration order either way."""
 
     def register(self, query: Query,
                  callback: Optional[Callable[[MonitorEvent], None]] = None
@@ -91,15 +100,26 @@ class MonitorRegistry:
 
     # ------------------------------------------------------------- fan-out
     def notify(self, update: Update) -> List[MonitorEvent]:
-        """Fan one applied update out to every monitor (workspace hook)."""
+        """Fan one applied update out to every monitor (workspace hook).
+
+        Runs *after* the update's write hold released: refreshes execute
+        repair queries of their own, which enter as ordinary snapshot
+        reads on the freshly published version.  With
+        :attr:`repair_workers` > 1 the independent dirty monitors repair
+        concurrently; see the attribute docstring.
+        """
         self.stats.updates += 1
-        events: List[MonitorEvent] = []
-        for monitor in list(self._monitors.values()):
-            if not monitor.active:
-                # Unregistered mid-fan-out (by an earlier monitor's
-                # callback): skip the refresh and its callback entirely.
-                continue
-            event = monitor.refresh(update)
+        if self.repair_workers > 1 and len(self._monitors) > 1:
+            events = self._notify_parallel(update)
+        else:
+            events = []
+            for monitor in list(self._monitors.values()):
+                if not monitor.active:
+                    # Unregistered mid-fan-out (by an earlier monitor's
+                    # callback): skip the refresh and its callback entirely.
+                    continue
+                events.append(monitor.refresh(update))
+        for event in events:
             if event.action == NO_OP:
                 self.stats.noops += 1
             elif event.action == REPAIR:
@@ -108,5 +128,37 @@ class MonitorRegistry:
                 self.stats.reruns += 1
             if not event.delta.empty:
                 self.stats.deltas += 1
-            events.append(event)
         return events
+
+    def _notify_parallel(self, update: Update) -> List[MonitorEvent]:
+        """Refresh every active monitor on a worker pool, one snapshot.
+
+        Monitors are independent standing queries — no repair reads
+        another monitor's state — so the only sharing is through the
+        workspace's already-locked caches.  The whole fan-out runs under
+        one read hold: every repair observes the same post-update version
+        even while other writers queue.  Events come back in registration
+        order; callbacks fire from worker threads and must not apply
+        updates synchronously (an apply would wait on this fan-out's read
+        hold, which waits on the callback — queue follow-up updates
+        instead).
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        monitors = [m for m in self._monitors.values() if m.active]
+
+        def refresh(monitor: Monitor) -> Optional[MonitorEvent]:
+            # Best-effort parity with the serial path's mid-fan-out
+            # unregistration guard: a monitor unregistered by another
+            # monitor's callback while this fan-out runs is skipped
+            # rather than refreshed after its unregistration.
+            if not monitor.active:
+                return None
+            return monitor.refresh(update)
+
+        with self._ws.read_lock():
+            with ThreadPoolExecutor(
+                    max_workers=min(self.repair_workers, len(monitors)),
+                    thread_name_prefix="repro-repair") as pool:
+                return [e for e in pool.map(refresh, monitors)
+                        if e is not None]

@@ -244,6 +244,36 @@ class LocalVisibilityGraph:
         """|SVG|: vertices of the local visibility graph (paper's metric)."""
         return sum(1 for a, t in zip(self._alive, self._transient) if a and not t)
 
+    def clone_skeleton(self) -> "LocalVisibilityGraph":
+        """Replicate this graph's obstacle skeleton into a fresh graph.
+
+        The clone carries the obstacles, the node table, *and every cached
+        adjacency row* — the expensive pairwise sight-line tests — but none
+        of the per-anchor state (visible-region caches, traversal memos,
+        endpoint binding).  This is how the shared routing backend
+        pre-provisions per-worker graphs for a parallel batch: each worker
+        binds its own endpoints to its own clone and traverses without
+        ever touching another worker's graph.
+
+        Caller contract: the graph must be unbound (no query endpoints
+        attached); the source is compacted first, so node ids held outside
+        the graph are invalidated exactly as :meth:`compact` documents.
+        """
+        if self.qseg is not None:
+            raise RuntimeError("clone_skeleton needs an unbound graph; "
+                               "unbind() first")
+        self.compact()
+        clone = LocalVisibilityGraph()
+        clone.obstacles = ObstacleSet(self.obstacles)
+        clone._obstacle_keys = set(self._obstacle_keys)
+        clone._xy = list(self._xy)
+        clone._alive = list(self._alive)
+        clone._transient = list(self._transient)
+        clone._rows = {v: dict(row) for v, row in self._rows.items()}
+        clone._row_marks = dict(self._row_marks)
+        clone._mentions = {v: set(h) for v, h in self._mentions.items()}
+        return clone
+
     # ------------------------------------------------------------ obstacles
     def add_obstacles(self, batch: Iterable[Obstacle]) -> int:
         """Insert obstacles and register their vertices as graph nodes.

@@ -25,6 +25,11 @@ library flows through one plannable code path::
 """
 
 from .executor import execute, execute_many, stream
+from .parallel import (
+    ConcurrencyStats,
+    execute_many_parallel,
+    last_batch_stats,
+)
 from .planner import (
     DEFAULT_PLANNER,
     NAIVE_PRELOAD,
@@ -56,6 +61,7 @@ __all__ = [
     "ClosestPairQuery",
     "ClosestPairResult",
     "CoknnQuery",
+    "ConcurrencyStats",
     "ConnQuery",
     "DEFAULT_PLANNER",
     "EDistanceJoinQuery",
@@ -75,5 +81,7 @@ __all__ = [
     "build_plan",
     "execute",
     "execute_many",
+    "execute_many_parallel",
+    "last_batch_stats",
     "stream",
 ]

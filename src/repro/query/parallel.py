@@ -1,0 +1,324 @@
+"""Parallel batch execution over immutable workspace snapshots.
+
+:func:`execute_many_parallel` is :func:`repro.query.executor.execute_many`
+for machines with cores to spare: the batch's Hilbert-ordered locality
+buckets — already the unit of cache affinity — become the unit of work,
+partitioned across a worker pool while one read hold pins the workspace
+version for the whole batch.  Results are returned in submission order and
+are identical to serial execution (asserted by the concurrency test suite
+and the ``bench_concurrent`` CI smoke); parallelism only changes *when*
+each bucket runs and who pays which page read.
+
+Two pool modes:
+
+* ``mode="thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  sharing this process's obstacle cache and routing backend through their
+  locks.  Retrieval rounds serialize on the cache lock (counted as *lock
+  contention*), engine compute runs concurrently where the interpreter
+  allows.  This is the mode that composes with everything else in the
+  process: monitors, the async :meth:`QueryService.submit` front, the
+  stress suite's interleaved updates.
+* ``mode="fork"`` — forked worker processes (POSIX only).  A fork *is* a
+  workspace snapshot: each worker inherits the parent's warmed caches and
+  graphs by copy-on-write and runs fully independently, so CPU-bound
+  workloads scale with cores regardless of the GIL.  Results travel back
+  by pickle.  Fork while other threads run is unsafe (CPython caveat);
+  the bench and batch paths fork before spawning any worker thread.
+
+:class:`ConcurrencyStats` aggregates what the batch did to the shared
+machinery: snapshots pinned, epoch waits updates suffered, lock contention
+on the caches, and how evenly the worker pool was utilized.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+from ..geometry.rectangle import Rect
+from .executor import _execute_bucket, _locality_buckets, execute
+from .queries import Query
+from .results import QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..service.snapshot import WorkspaceSnapshot
+    from ..service.workspace import Workspace
+
+THREAD = "thread"
+"""Pool mode: worker threads over this process's shared caches."""
+
+FORK = "fork"
+"""Pool mode: forked worker processes (copy-on-write snapshots)."""
+
+
+@dataclass
+class ConcurrencyStats:
+    """What one parallel batch did to the workspace's shared machinery."""
+
+    workers: int = 1
+    """Worker pool size the batch ran with."""
+
+    mode: str = THREAD
+    """Pool mode (``"thread"`` or ``"fork"``)."""
+
+    queries: int = 0
+    """Queries executed by the batch."""
+
+    tasks: int = 0
+    """Work units dispatched to the pool (locality buckets + non-spatial
+    tail)."""
+
+    snapshots_taken: int = 0
+    """Workspace snapshots pinned for this batch (1, plus any retries the
+    caller performed)."""
+
+    epoch_waits: int = 0
+    """Updates that blocked on this batch's read hold (delta of the
+    workspace lock's ``write_waits``)."""
+
+    lock_contention: int = 0
+    """Contended acquisitions of the obstacle-cache lock while the batch
+    ran — how often parallel workers actually serialized on shared state."""
+
+    wall_time_s: float = 0.0
+    """Wall-clock time of the parallel section."""
+
+    busy_time_s: float = 0.0
+    """Summed per-task execution time across workers."""
+
+    graph_clones: int = 0
+    """Shared-graph skeleton clones pre-provisioned for the pool."""
+
+    per_task_s: List[float] = field(default_factory=list, repr=False)
+    """Per-task wall times (diagnostic; drives :attr:`worker_utilization`)."""
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of the pool's capacity the batch kept busy.
+
+        ``busy_time / (workers * wall_time)`` — 1.0 means every worker
+        computed for the whole parallel section; low values mean the
+        bucket partition was skewed or the batch too small for the pool.
+        """
+        cap = self.workers * self.wall_time_s
+        return self.busy_time_s / cap if cap > 0 else 0.0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.queries} queries / {self.tasks} tasks on "
+                f"{self.workers} {self.mode} workers: "
+                f"wall {self.wall_time_s * 1e3:.1f} ms, "
+                f"utilization {self.worker_utilization:.0%}, "
+                f"{self.epoch_waits} epoch waits, "
+                f"{self.lock_contention} contended lock acquisitions")
+
+
+# --------------------------------------------------------------- fork plumbing
+_fork_workspace: Optional["Workspace"] = None
+_fork_queries: Optional[List[Query]] = None
+
+
+def _fork_run_shard(shard: Sequence[Sequence[int]]
+                    ) -> List[Tuple[int, QueryResult, float]]:
+    """Run one shard of buckets inside a forked worker.
+
+    The workspace and query list arrive through the fork (module globals
+    set just before the pool was created), so only bucket indices go down
+    and pickled results come back.
+    """
+    ws, qs = _fork_workspace, _fork_queries
+    out: List[Tuple[int, QueryResult, float]] = []
+    for bucket in shard:
+        t0 = time.perf_counter()
+        results: List[Optional[QueryResult]] = [None] * len(qs)
+        _execute_bucket(ws, qs, list(bucket), results)
+        dt = time.perf_counter() - t0
+        for i in bucket:
+            out.append((i, results[i], dt / len(bucket)))
+    return out
+
+
+def _shard_round_robin(buckets: List[List[int]],
+                       shards: int) -> List[List[List[int]]]:
+    """Deal buckets across ``shards`` piles, largest first, lightest pile
+    next — a greedy balance good enough for coarse bucket work units."""
+    piles: List[List[List[int]]] = [[] for _ in range(shards)]
+    loads = [0] * shards
+    for bucket in sorted(buckets, key=len, reverse=True):
+        i = loads.index(min(loads))
+        piles[i].append(bucket)
+        loads[i] += len(bucket)
+    return [p for p in piles if p]
+
+
+def effective_workers(workers: int, mode: str = THREAD) -> int:
+    """Clamp a requested pool size to something the host can honor."""
+    if workers <= 1:
+        return 1
+    if mode == FORK:
+        return min(workers, max(1, os.cpu_count() or 1))
+    return workers
+
+
+def execute_many_parallel(snapshot: "WorkspaceSnapshot",
+                          queries: Iterable[Query], *,
+                          schedule: str = "locality", workers: int = 4,
+                          mode: str = THREAD) -> List[QueryResult]:
+    """Execute a batch against one snapshot on a worker pool.
+
+    Args:
+        snapshot: the pinned workspace version to execute against (take
+            one with :meth:`Workspace.snapshot`); verified under the read
+            hold, so a batch either runs entirely on its version or raises
+            :class:`~repro.service.concurrency.SnapshotExpired` upfront.
+        schedule: ``"locality"`` partitions by the Hilbert locality grid
+            (the parallel unit of work); ``"fifo"`` round-robins single
+            queries (no bucket prefetch amortization — use it to force
+            maximum interleaving in stress tests).
+        workers: pool size; ``<= 1`` falls back to the serial executor
+            under the same snapshot semantics.
+        mode: ``"thread"`` or ``"fork"`` (see the module docstring).
+
+    Returns:
+        Results in submission order, each carrying ``.query``.  The
+        batch's :class:`ConcurrencyStats` is attached to the returned list
+        as the ``concurrency`` attribute of :func:`last_batch_stats`.
+    """
+    from ..service.workspace import Workspace
+
+    if isinstance(snapshot, Workspace):  # courtesy: accept a live workspace
+        snapshot = snapshot.snapshot()
+    ws = snapshot.workspace
+    qs = list(queries)
+    if schedule not in ("locality", "fifo"):
+        raise ValueError(f"unknown schedule {schedule!r}")
+    if mode not in (THREAD, FORK):
+        raise ValueError(f"unknown mode {mode!r}; expected 'thread' "
+                         "or 'fork'")
+    if mode == FORK and not hasattr(os, "fork"):
+        mode = THREAD  # pragma: no cover - non-POSIX hosts
+    workers = effective_workers(workers, mode)
+
+    stats = ConcurrencyStats(workers=workers, mode=mode, queries=len(qs),
+                             snapshots_taken=1)
+    epoch0 = ws._rw.write_waits
+    contention0 = ws.cache.lock.contended
+
+    with ws.read_lock():
+        snapshot.verify()
+        if workers <= 1 or len(qs) <= 1:
+            t0 = time.perf_counter()
+            results = [execute(ws, q) for q in qs]
+            stats.tasks = len(qs)
+            stats.wall_time_s = stats.busy_time_s = time.perf_counter() - t0
+        else:
+            results = _run_pool(ws, qs, schedule, workers, mode, stats)
+    stats.epoch_waits = ws._rw.write_waits - epoch0
+    stats.lock_contention = ws.cache.lock.contended - contention0
+    _LAST_BATCH.stats = stats
+    return results
+
+
+def _partition(ws: "Workspace", qs: List[Query],
+               schedule: str) -> Tuple[List[List[int]], List[int]]:
+    """Spatial buckets plus the non-spatial tail, in executor order."""
+    spatial: List[Tuple[int, Rect]] = []
+    other: List[int] = []
+    for i, q in enumerate(qs):
+        fp = q.footprint() if isinstance(q, Query) else None
+        if fp is not None:
+            spatial.append((i, fp))
+        else:
+            other.append(i)
+    if schedule == "fifo":
+        return [[i] for i, _fp in spatial], other
+    return _locality_buckets(ws, spatial), other
+
+
+def _run_pool(ws: "Workspace", qs: List[Query], schedule: str, workers: int,
+              mode: str, stats: ConcurrencyStats) -> List[QueryResult]:
+    buckets, other = _partition(ws, qs, schedule)
+    results: List[Optional[QueryResult]] = [None] * len(qs)
+    t0 = time.perf_counter()
+    if mode == THREAD:
+        stats.graph_clones = ws.routing.prepare_sessions(workers)
+        _run_threads(ws, qs, buckets, workers, results, stats)
+    else:
+        _run_forks(ws, qs, buckets, workers, results, stats)
+    # Non-spatial queries (the joins) run on the coordinating thread, in
+    # submission order — exactly the serial executor's tail behavior.
+    for i in other:
+        t1 = time.perf_counter()
+        results[i] = execute(ws, qs[i])
+        stats.per_task_s.append(time.perf_counter() - t1)
+        stats.tasks += 1
+    stats.wall_time_s = time.perf_counter() - t0
+    stats.busy_time_s = math.fsum(stats.per_task_s)
+    return results  # type: ignore[return-value]
+
+
+def _run_threads(ws: "Workspace", qs: List[Query], buckets: List[List[int]],
+                 workers: int, results: List[Optional[QueryResult]],
+                 stats: ConcurrencyStats) -> None:
+    from concurrent.futures import ThreadPoolExecutor
+
+    record_lock = threading.Lock()
+
+    def run_bucket(bucket: List[int]) -> None:
+        t1 = time.perf_counter()
+        # Buckets write disjoint result slots; _execute_bucket's cache
+        # interactions are serialized by the cache lock.
+        _execute_bucket(ws, qs, bucket, results)
+        dt = time.perf_counter() - t1
+        with record_lock:
+            stats.per_task_s.append(dt)
+            stats.tasks += 1
+
+    with ThreadPoolExecutor(max_workers=workers,
+                            thread_name_prefix="repro-batch") as pool:
+        # Workers run the lock-free executor entry points; the
+        # coordinator's read hold (our caller) is what excludes writers
+        # for the whole pool, so workers never queue behind a waiting
+        # writer mid-batch.
+        for future in [pool.submit(run_bucket, b) for b in buckets]:
+            future.result()
+
+
+def _run_forks(ws: "Workspace", qs: List[Query], buckets: List[List[int]],
+               workers: int, results: List[Optional[QueryResult]],
+               stats: ConcurrencyStats) -> None:
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    global _fork_workspace, _fork_queries
+    shards = _shard_round_robin(buckets, workers)
+    _fork_workspace, _fork_queries = ws, qs
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=len(shards),
+                                 mp_context=ctx) as pool:
+            for future in [pool.submit(_fork_run_shard, shard)
+                           for shard in shards]:
+                for i, result, dt in future.result():
+                    results[i] = result
+                    stats.per_task_s.append(dt)
+            stats.tasks += len(shards)
+    finally:
+        _fork_workspace = _fork_queries = None
+
+
+class _LastBatch(threading.local):
+    stats: Optional[ConcurrencyStats] = None
+
+
+_LAST_BATCH = _LastBatch()
+
+
+def last_batch_stats() -> Optional[ConcurrencyStats]:
+    """The :class:`ConcurrencyStats` of this thread's most recent parallel
+    batch (``None`` before any ran)."""
+    return _LAST_BATCH.stats

@@ -107,12 +107,17 @@ class PlannerOptions:
             Results are identical either way (asserted by the backend
             equivalence suite); only where the visibility-test and
             graph-build work lands changes.
+        parallel_workers: the worker-pool size the planner prices
+            parallelism against (``QueryPlan.est_parallel_speedup``) and
+            the trajectory executor uses for independent legs.  ``1``
+            (default) keeps every execution path strictly serial.
     """
 
     naive_max_points: int = 0
     grid_cells: int = 16
     prefetch_margin_factor: float = 1.25
     backend: str = "auto"
+    parallel_workers: int = 1
 
 
 DEFAULT_PLANNER = PlannerOptions()
@@ -153,6 +158,14 @@ class QueryPlan:
     est_graph_builds: int = 1
     """Full visibility-graph builds this query is priced to pay (0 when the
     workspace-shared graph is already resident)."""
+    est_parallel_speedup: float = 1.0
+    """Estimated wall-clock speedup of executing this plan on the
+    workspace's configured worker pool
+    (:attr:`PlannerOptions.parallel_workers`): the query's independent
+    execution units (trajectory legs; single-segment queries have one)
+    divided by the pool rounds needed to drain them.  ``1.0`` means the
+    plan is inherently serial — parallelism then only pays across queries
+    (``execute_many(..., workers=N)``), not inside this one."""
     workspace_version: int = 0
     """The :attr:`Workspace.version` this plan was built at.  The executor
     re-plans automatically when the workspace has been mutated since — a
@@ -190,6 +203,8 @@ class QueryPlan:
             f"  backend   : {self.backend} "
             f"(est. {self.est_graph_builds} visibility-graph "
             f"build{'' if self.est_graph_builds == 1 else 's'})",
+            f"  parallel  : est. {self.est_parallel_speedup:.2f}x speedup "
+            f"on this plan's independent units",
             f"  config    : {flags}",
         ]
         for note in self.notes:
@@ -348,6 +363,16 @@ def build_plan(workspace: "Workspace", query: Query,
         notes.append("1T unified scan reads data and obstacle pages "
                      "together; cache hits cannot skip them")
 
+    workers = max(1, opts.parallel_workers)
+    units = len(spines) if isinstance(query, TrajectoryQuery) else 1
+    # Units drain in ceil(units / workers) pool rounds; a serial pool (or a
+    # single-unit plan) gets exactly 1.0.
+    est_speedup = (units / math.ceil(units / workers)
+                   if workers > 1 and units > 1 else 1.0)
+    if est_speedup > 1.0:
+        notes.append(f"{units} independent legs over {workers} workers "
+                     "(see est_parallel_speedup)")
+
     chosen = _resolve_backend(ws, backend, warm, spines)
     if chosen == SHARED_VG:
         builds = 0 if ws.routing.ready else 1
@@ -365,5 +390,6 @@ def build_plan(workspace: "Workspace", query: Query,
     return QueryPlan(query, algorithm, layout, k, cfg, footprint, est_radius,
                      warm, est_io, len(ws.cache), ws.cache.coverage_regions,
                      tuple(notes), backend=chosen, est_graph_builds=builds,
+                     est_parallel_speedup=est_speedup,
                      backend_override=backend, workspace_version=ws.version,
                      tree_versions=tree_versions(ws))

@@ -36,6 +36,7 @@ I/O pattern, not an answer) may differ.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import (
     TYPE_CHECKING,
@@ -107,13 +108,15 @@ class VGSession:
     def __init__(self, backend: "ObstructedDistanceBackend",
                  graph: "LocalVisibilityGraph", qseg: "Segment",
                  qstats: Optional["QueryStats"], *, shared: bool,
-                 built: bool, build_time_s: float = 0.0):
+                 built: bool, build_time_s: float = 0.0,
+                 spawned: bool = False):
         self._backend = backend
         self.graph = graph
         self.qseg = qseg
         self._qstats = qstats
         self.shared = shared
         self._built = built
+        self._spawned = spawned
         self._build_time_s = build_time_s
         self.S = graph.S
         self.E = graph.E
@@ -194,13 +197,18 @@ class VGSession:
             sessions=1,
             graphs_built=1 if self._built else 0,
             graph_reuses=0 if self._built else (1 if self.shared else 0),
+            graph_spawns=1 if self._spawned else 0,
             build_time_s=self._build_time_s,
             dijkstra_runs=self.graph.dijkstra_runs - self._runs0,
             dijkstra_replays=self.graph.dijkstra_replays - self._replays0,
             nodes_settled=self.graph.nodes_settled - self._settled0,
             visibility_tests=self.graph.visibility_tests - self._vt0,
         )
-        self._backend.stats.merge(delta)
+        # Counters accumulate per session (this graph is exclusively ours
+        # for the session's lifetime, so the deltas are exact) and merge at
+        # collection under the backend's stats lock — parallel sessions
+        # detaching together must not race the shared integers.
+        self._backend._merge_stats(delta)
         if self._qstats is not None:
             self._qstats.backend.merge(delta)
             self._qstats.backend_name = self._backend.name
@@ -243,6 +251,12 @@ class _BackendBase:
 
     def __init__(self) -> None:
         self.stats = BackendStats()
+        self._stats_lock = threading.Lock()
+
+    def _merge_stats(self, delta: BackendStats) -> None:
+        """Fold one session's counter deltas into the cumulative block."""
+        with self._stats_lock:
+            self.stats.merge(delta)
 
     def shortest_distances(self, session: VGSession, source: int,
                            targets: Iterable[int]) -> Dict[int, float]:
@@ -292,60 +306,91 @@ class SharedVGBackend(_BackendBase):
         obstacle_tree: the R*-tree whose ``version`` counter guards the
             graph against unannounced mutations (the obstacle tree on 2T,
             the unified tree on 1T).
-        cache: the workspace's obstacle cache; the graph is seeded lazily
-            from its resident obstacles (the capsules' contents) and grows
+        cache: the workspace's obstacle cache; graphs are seeded lazily
+            from its resident obstacles (the capsules' contents) and grow
             further as queries retrieve past the cached footprint.
+        max_pool: idle graphs kept for concurrent sessions beyond the
+            primary (spares above the bound are dropped on release).
 
-    The graph is built on first attach, reused by every later session, and
-    maintained by the workspace's update path: ``note_obstacle_insert``
-    patches the new obstacle in (adjacency rows self-repair lazily, exactly
-    as IOR insertion always has), ``note_obstacle_remove`` drops the graph
-    — removal cannot be patched soundly, because unblocking the edges a
-    vertex removal re-opens would mean re-testing every cached row — and
-    the next attach rebuilds from the (already-evicted) cache.  A tree
-    version mismatch at attach time means someone mutated the index behind
-    the workspace's back: the graph is dropped the same way, never served
-    stale.
+    The *primary* graph is built on first attach and reused by every later
+    serial session — exactly the pre-concurrency behavior, same stats.
+    Under concurrency the backend holds a small **pool**: a session that
+    attaches while every resident graph is busy gets its own graph —
+    either a pre-provisioned clone of the primary skeleton
+    (:meth:`prepare_sessions`, cached adjacency rows included) or a fresh
+    build from the obstacle cache — and returns it to the pool on detach.
+    Each graph serves exactly one session at a time, so no query ever
+    traverses a graph another thread is mutating; per-session counter
+    deltas stay exact.
+
+    Maintenance runs with the workspace write lock held (no session in
+    flight): ``note_obstacle_insert`` patches every resident graph in
+    place (adjacency rows self-repair lazily, exactly as IOR insertion
+    always has); ``note_obstacle_remove`` drops all graphs — removal
+    cannot be patched soundly, because unblocking the edges a vertex
+    removal re-opens would mean re-testing every cached row — and the
+    next attach rebuilds from the (already-evicted) cache.  A tree version
+    mismatch at attach time means someone mutated the index behind the
+    workspace's back: every graph is dropped the same way, never served
+    stale.  Each drop bumps :attr:`generation`, the freshness token
+    workspace snapshots pin.
     """
 
     name = SHARED_VG
 
-    def __init__(self, obstacle_tree: "RStarTree", cache: Any = None):
+    def __init__(self, obstacle_tree: "RStarTree", cache: Any = None,
+                 max_pool: int = 8):
         super().__init__()
         self.tree = obstacle_tree
         self.cache = cache
+        self.max_pool = max_pool
         self._graph: Optional["LocalVisibilityGraph"] = None
+        self._primary_busy = False
+        self._idle: List["LocalVisibilityGraph"] = []
         self._tree_version = obstacle_tree.version
-        self._active: Optional[VGSession] = None
-        # Re-entrant attaches (a sub-query while a session is open) are
-        # served by this isolated fallback, so their work is attributed to
-        # per-query stats — never misreported as shared-graph reuse.
-        self._fallback = PerQueryVGBackend()
+        self.generation = 0
+        """Bumped whenever resident graphs are dropped (invalidation,
+        announced removal).  Workspace snapshots pin it; pooled spares
+        stamped with an older generation are discarded instead of served."""
+        self._stamps: Dict[int, int] = {}
+        self._lock = threading.RLock()
 
     # ---------------------------------------------------------- maintenance
     @property
     def ready(self) -> bool:
-        """True when the shared graph is built (the planner's warm signal)."""
+        """True when the primary graph is built (the planner's warm signal)."""
         return self._graph is not None
 
     @property
     def resident_obstacles(self) -> int:
-        """Obstacles currently resident in the shared graph (0 when down)."""
+        """Obstacles resident in the primary graph (0 when down)."""
         return len(self._graph.obstacles) if self._graph is not None else 0
+
+    @property
+    def pooled_graphs(self) -> int:
+        """Idle spare graphs currently pooled for concurrent sessions."""
+        return len(self._idle)
 
     def _drop(self) -> None:
         self._graph = None
+        self._primary_busy = False
+        self._idle.clear()
+        self._stamps.clear()
+        self.generation += 1
 
     def invalidate(self) -> None:
-        """Drop the shared graph (rebuilds lazily on next attach)."""
-        if self._graph is not None:
-            self.stats.invalidations += 1
-        self._drop()
+        """Drop every resident graph (rebuilds lazily on next attach)."""
+        with self._lock:
+            if self._graph is not None or self._idle:
+                with self._stats_lock:
+                    self.stats.invalidations += 1
+            self._drop()
 
     def sync_tree_version(self) -> None:
         """Adopt the tree's version for mutations that cannot affect the
         graph (data-point updates on a 1T unified tree)."""
-        self._tree_version = self.tree.version
+        with self._lock:
+            self._tree_version = self.tree.version
 
     def _absorb_announced_mutation(self) -> bool:
         """Version bookkeeping shared by the two ``note_obstacle_*`` hooks.
@@ -362,70 +407,141 @@ class SharedVGBackend(_BackendBase):
         return True
 
     def note_obstacle_insert(self, obstacle: "Obstacle") -> None:
-        """Patch an announced insert into the live graph.
+        """Patch an announced insert into every resident graph.
 
         Vertices register immediately; cached adjacency rows repair
         themselves lazily on next access (the same incremental mechanism
-        IOR insertion uses), so the patch is O(vertices) here.
+        IOR insertion uses), so the patch is O(vertices) per graph.  Called
+        under the workspace write lock, so no graph is mid-traversal.
         """
-        if not self._absorb_announced_mutation():
-            return
-        if self._graph is not None:
-            self._graph.add_obstacles([obstacle])
-            self.stats.patched += 1
+        with self._lock:
+            if not self._absorb_announced_mutation():
+                return
+            patched = False
+            for graph in self._resident_graphs():
+                graph.add_obstacles([obstacle])
+                patched = True
+            if patched:
+                with self._stats_lock:
+                    self.stats.patched += 1
 
     def note_obstacle_remove(self, obstacle: "Obstacle") -> None:
-        """Handle an announced removal: drop the graph for a lazy rebuild."""
-        if not self._absorb_announced_mutation():
-            return
+        """Handle an announced removal: drop every graph for lazy rebuild."""
+        with self._lock:
+            if not self._absorb_announced_mutation():
+                return
+            if self._graph is not None or self._idle:
+                with self._stats_lock:
+                    self.stats.evicted += 1
+                self._drop()
+
+    def _resident_graphs(self) -> Iterator["LocalVisibilityGraph"]:
         if self._graph is not None:
-            self.stats.evicted += 1
-            self._drop()
+            yield self._graph
+        yield from self._idle
 
     # ------------------------------------------------------------- sessions
-    def attach_endpoints(self, qseg: "Segment",
-                         stats: Optional["QueryStats"] = None) -> VGSession:
-        """Bind a query's endpoints to the shared graph.
-
-        Only one session can hold the shared graph at a time; a nested
-        attach (a sub-query issued while a session is open) falls back to
-        an isolated per-query session so re-entrancy can never corrupt
-        the shared skeleton — attributed to the fallback's per-query
-        stats, not to this backend's sharing counters.
-        """
+    def _build_graph(self) -> Tuple["LocalVisibilityGraph", float]:
+        """A fresh graph seeded from the obstacle cache, with build time."""
         from ..obstacles.visgraph import LocalVisibilityGraph
 
-        if self.tree.version != self._tree_version:
-            self.invalidate()
-            self._tree_version = self.tree.version
-        if self._active is not None:
-            return self._fallback.attach_endpoints(qseg, stats)
-        built = self._graph is None
-        build_time = 0.0
-        if built:
-            t0 = time.perf_counter()
-            seed = self.cache.obstacles if self.cache is not None else ()
-            self._graph = LocalVisibilityGraph(obstacles=list(seed))
-            build_time = time.perf_counter() - t0
-        self._graph.bind(qseg)
-        session = VGSession(self, self._graph, qseg, stats, shared=True,
-                            built=built, build_time_s=build_time)
-        self._active = session
-        return session
+        t0 = time.perf_counter()
+        if self.cache is not None:
+            seed = (self.cache.resident() if hasattr(self.cache, "resident")
+                    else list(self.cache.obstacles))
+        else:
+            seed = []
+        graph = LocalVisibilityGraph(obstacles=seed)
+        return graph, time.perf_counter() - t0
+
+    def prepare_sessions(self, n: int) -> int:
+        """Pre-provision graphs so ``n`` sessions can attach concurrently.
+
+        Clones the primary skeleton — cached adjacency rows included, the
+        asset a cold spawn from the obstacle cache would lose — until the
+        primary plus idle spares cover ``n`` concurrent sessions (bounded
+        by ``max_pool``).  A no-op while the backend is cold: spawning
+        graphs nobody may use would charge builds to workloads that never
+        go parallel.
+
+        Returns:
+            Number of clones created.
+        """
+        with self._lock:
+            if self._graph is None or self._primary_busy:
+                return 0
+            want = min(n - 1, self.max_pool) - len(self._idle)
+            made = 0
+            for _ in range(max(0, want)):
+                clone = self._graph.clone_skeleton()
+                self._stamps[id(clone)] = self.generation
+                self._idle.append(clone)
+                made += 1
+            if made:
+                with self._stats_lock:
+                    self.stats.graph_clones += made
+            return made
+
+    def attach_endpoints(self, qseg: "Segment",
+                         stats: Optional["QueryStats"] = None) -> VGSession:
+        """Bind a query's endpoints to a resident graph.
+
+        The primary graph serves when idle (the serial fast path).  While
+        it is busy — a concurrent query, or a nested sub-query inside one
+        session — the session gets a pooled spare, or a freshly spawned
+        graph seeded from the obstacle cache when no spare is idle.  Every
+        graph hosts one session at a time; results are identical on any of
+        them (the superset-soundness argument in the module docstring).
+        """
+        with self._lock:
+            if self.tree.version != self._tree_version:
+                self.invalidate()
+                self._tree_version = self.tree.version
+            built = spawned = False
+            build_time = 0.0
+            if self._graph is None:
+                self._graph, build_time = self._build_graph()
+                built = True
+                graph = self._graph
+                self._primary_busy = True
+            elif not self._primary_busy:
+                graph = self._graph
+                self._primary_busy = True
+            else:
+                while self._idle:
+                    candidate = self._idle.pop()
+                    if self._stamps.get(id(candidate)) == self.generation:
+                        graph = candidate
+                        break
+                    self._stamps.pop(id(candidate), None)
+                else:
+                    graph, build_time = self._build_graph()
+                    self._stamps[id(graph)] = self.generation
+                    built = spawned = True
+            graph.bind(qseg)
+        return VGSession(self, graph, qseg, stats, shared=True,
+                         built=built, build_time_s=build_time,
+                         spawned=spawned)
 
     def _release(self, session: VGSession) -> None:
-        if session is not self._active:
-            return
-        self._active = None
         graph = session.graph
-        if graph.qseg is not None:
-            graph.unbind()
-        # Every query leaves its transient endpoints and evaluated data
-        # points behind as dead append-only slots; compact once they
-        # outnumber the live skeleton so a long-lived workspace stays
-        # O(obstacle vertices), not O(queries ever served).  Cached
-        # adjacency rows — the amortized asset — survive compaction.
-        if graph is self._graph and \
-                graph.dead_slots > max(64, graph.num_nodes):
-            graph.compact()
-            self.stats.compactions += 1
+        with self._lock:
+            if graph.qseg is not None:
+                graph.unbind()
+            # Every query leaves its transient endpoints and evaluated data
+            # points behind as dead append-only slots; compact once they
+            # outnumber the live skeleton so a long-lived workspace stays
+            # O(obstacle vertices), not O(queries ever served).  Cached
+            # adjacency rows — the amortized asset — survive compaction.
+            if graph.dead_slots > max(64, graph.num_nodes):
+                graph.compact()
+                with self._stats_lock:
+                    self.stats.compactions += 1
+            if graph is self._graph:
+                self._primary_busy = False
+                return
+            if (self._stamps.get(id(graph)) == self.generation
+                    and len(self._idle) < self.max_pool):
+                self._idle.append(graph)
+            else:
+                self._stamps.pop(id(graph), None)

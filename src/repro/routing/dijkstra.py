@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
 from typing import (
     Any,
     Callable,
@@ -58,7 +59,7 @@ class Traversal:
     """
 
     __slots__ = ("_neighbors", "_skip", "source", "dist", "pred",
-                 "settled", "_heap", "_done", "stamp")
+                 "settled", "_heap", "_done", "stamp", "_lock")
 
     def __init__(self, neighbors: Adjacency, source: int,
                  skip: Optional[Callable[[int], bool]] = None,
@@ -72,6 +73,7 @@ class Traversal:
         self._heap: List[Tuple[float, int]] = [(0.0, source)]
         self._done: set = set()
         self.stamp = stamp
+        self._lock = threading.Lock()
 
     @property
     def exhausted(self) -> bool:
@@ -79,25 +81,34 @@ class Traversal:
         return not self._heap
 
     def advance(self) -> Optional[SettledEntry]:
-        """Settle and record the next node; ``None`` when exhausted."""
+        """Settle and record the next node; ``None`` when exhausted.
+
+        Serialized by a per-traversal lock: a memoized traversal can be
+        replayed-and-extended by several consumers (the settled prefix is
+        the shared asset), and two threads racing the frontier would
+        otherwise pop the heap and grow ``settled`` inconsistently.  The
+        replay path of :meth:`order` stays lock-free — it only reads the
+        append-only settled prefix.
+        """
         skip = self._skip
-        while self._heap:
-            d, node = heapq.heappop(self._heap)
-            if node in self._done:
-                continue
-            self._done.add(node)
-            entry = (d, node, self.pred[node])
-            self.settled.append(entry)
-            for nbr, w in self._neighbors(node).items():
-                if skip is not None and skip(nbr):
+        with self._lock:
+            while self._heap:
+                d, node = heapq.heappop(self._heap)
+                if node in self._done:
                     continue
-                nd = d + w
-                if nd < self.dist.get(nbr, math.inf):
-                    self.dist[nbr] = nd
-                    self.pred[nbr] = node
-                    heapq.heappush(self._heap, (nd, nbr))
-            return entry
-        return None
+                self._done.add(node)
+                entry = (d, node, self.pred[node])
+                self.settled.append(entry)
+                for nbr, w in self._neighbors(node).items():
+                    if skip is not None and skip(nbr):
+                        continue
+                    nd = d + w
+                    if nd < self.dist.get(nbr, math.inf):
+                        self.dist[nbr] = nd
+                        self.pred[nbr] = node
+                        heapq.heappush(self._heap, (nd, nbr))
+                return entry
+            return None
 
     def order(self, on_advance: Optional[Callable[[SettledEntry], None]]
               = None) -> Iterator[SettledEntry]:
@@ -119,6 +130,12 @@ class Traversal:
             else:
                 entry = self.advance()
                 if entry is None:
+                    # Another consumer may have settled the tail between
+                    # our length check and the (locked) advance; drain the
+                    # replay cursor before concluding exhaustion, or those
+                    # entries would be silently dropped.
+                    if i < len(self.settled):
+                        continue
                     return
                 if on_advance is not None:
                     on_advance(entry)

@@ -35,6 +35,15 @@ class BackendStats:
     graph_reuses: int = 0
     """Sessions served by an already-built workspace-shared graph."""
 
+    graph_spawns: int = 0
+    """Extra shared graphs built from the obstacle cache for *concurrent*
+    sessions (every resident graph was busy when the session attached).
+    Each spawn is also counted in ``graphs_built``."""
+
+    graph_clones: int = 0
+    """Shared graphs replicated from the primary skeleton — cached
+    adjacency rows included — to pre-provision a parallel worker pool."""
+
     build_time_s: float = 0.0
     """Wall-clock time spent constructing/seeding visibility graphs."""
 
@@ -77,6 +86,8 @@ class BackendStats:
         self.sessions += other.sessions
         self.graphs_built += other.graphs_built
         self.graph_reuses += other.graph_reuses
+        self.graph_spawns += other.graph_spawns
+        self.graph_clones += other.graph_clones
         self.build_time_s += other.build_time_s
         self.dijkstra_runs += other.dijkstra_runs
         self.dijkstra_replays += other.dijkstra_replays

@@ -20,7 +20,15 @@ The free functions ``repro.conn`` / ``repro.coknn`` / ... are thin wrappers
 over a one-shot workspace, so the cold path and the classic API coincide.
 """
 
-from .cache import CachedObstacleView, CacheStats, Capsule, ObstacleCache
+from .cache import (
+    CachedObstacleView,
+    CacheReadView,
+    CacheStats,
+    Capsule,
+    ObstacleCache,
+)
+from .concurrency import CountingRLock, ReadWriteLock, SnapshotExpired
+from .snapshot import WorkspaceSnapshot
 from .updates import (
     AddObstacle,
     AddSite,
@@ -34,12 +42,17 @@ __all__ = [
     "AddObstacle",
     "AddSite",
     "CachedObstacleView",
+    "CacheReadView",
     "CacheStats",
     "Capsule",
+    "CountingRLock",
     "ObstacleCache",
     "QueryService",
+    "ReadWriteLock",
     "RemoveObstacle",
     "RemoveSite",
+    "SnapshotExpired",
     "Update",
     "Workspace",
+    "WorkspaceSnapshot",
 ]

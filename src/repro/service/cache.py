@@ -59,6 +59,7 @@ from ..geometry.segment import Segment
 from ..index.rstar import RStarTree
 from ..obstacles.obstacle import Obstacle
 from ..obstacles.visgraph import LocalVisibilityGraph
+from .concurrency import CountingRLock
 
 
 class Capsule(NamedTuple):
@@ -187,6 +188,12 @@ class ObstacleCache:
         self._max_capsules = max_capsules
         self._ranked_memo = None  # (qseg key, epoch, ranked list)
         self._tree_version = obstacle_tree.version
+        self.lock = CountingRLock()
+        """Guards every coverage decision and cached-set mutation.  Held
+        for whole ``ensure`` rounds by :class:`CachedObstacleView`, so a
+        round's covered-check, serving, and capsule recording are atomic
+        with respect to concurrent queries; its ``contended`` counter
+        feeds :class:`~repro.query.parallel.ConcurrencyStats`."""
 
     # ----------------------------------------------------------- maintenance
     def _validate(self) -> None:
@@ -207,14 +214,15 @@ class ObstacleCache:
         recorded *after* a mutation would prove coverage over a cached set
         still containing obstacles deleted from the tree.
         """
-        self._seen.clear()
-        self._obstacles.clear()
-        self._mbrs.clear()
-        self._capsules.clear()
-        self._ranked_memo = None
-        self.epoch += 1
-        self.stats.invalidations += 1
-        self._tree_version = self.tree.version
+        with self.lock:
+            self._seen.clear()
+            self._obstacles.clear()
+            self._mbrs.clear()
+            self._capsules.clear()
+            self._ranked_memo = None
+            self.epoch += 1
+            self.stats.invalidations += 1
+            self._tree_version = self.tree.version
 
     def sync_tree_version(self) -> None:
         """Adopt the tree's current version without invalidating.
@@ -223,7 +231,8 @@ class ObstacleCache:
         point inserts/deletes on a 1T unified tree, where the cache's backing
         tree also indexes non-obstacle payloads.
         """
-        self._tree_version = self.tree.version
+        with self.lock:
+            self._tree_version = self.tree.version
 
     def _absorb_announced_mutation(self) -> bool:
         """Common version bookkeeping of the two ``note_obstacle_*`` hooks.
@@ -248,10 +257,11 @@ class ObstacleCache:
         completeness the moment the obstacle is resident, and a capsule not
         covering it never claimed it.
         """
-        if not self._absorb_announced_mutation():
-            return
-        if self.add(obstacle):
-            self.stats.patched += 1
+        with self.lock:
+            if not self._absorb_announced_mutation():
+                return
+            if self.add(obstacle):
+                self.stats.patched += 1
 
     def note_obstacle_remove(self, obstacle: Obstacle) -> None:
         """Announce that ``obstacle`` was just deleted from the tree.
@@ -262,19 +272,21 @@ class ObstacleCache:
         footprint lies under some capsule, that capsule's completeness was
         never real — those capsules are dropped.
         """
-        if not self._absorb_announced_mutation():
-            return
-        mbr = obstacle.mbr()
-        if any(item == obstacle for item in self.tree.range_search(mbr)):
-            # A duplicate entry survived the delete: the dataset still
-            # contains the obstacle, so the cached copy and every capsule
-            # remain exactly right — evicting here would under-serve.
-            return
-        if self._evict(obstacle):
-            return
-        kept = [cap for cap in self._capsules if not cap.covers_rect(mbr)]
-        if len(kept) != len(self._capsules):
-            self._capsules = kept
+        with self.lock:
+            if not self._absorb_announced_mutation():
+                return
+            mbr = obstacle.mbr()
+            if any(item == obstacle for item in self.tree.range_search(mbr)):
+                # A duplicate entry survived the delete: the dataset still
+                # contains the obstacle, so the cached copy and every capsule
+                # remain exactly right — evicting here would under-serve.
+                return
+            if self._evict(obstacle):
+                return
+            kept = [cap for cap in self._capsules
+                    if not cap.covers_rect(mbr)]
+            if len(kept) != len(self._capsules):
+                self._capsules = kept
 
     def _evict(self, obstacle: Obstacle) -> bool:
         """Remove one obstacle from the cached set; True when it was there."""
@@ -292,45 +304,59 @@ class ObstacleCache:
     # ------------------------------------------------------------ population
     def add(self, obstacle: Obstacle) -> bool:
         """Insert one obstacle; returns False when it was already cached."""
-        if obstacle in self._seen:
-            return False
-        self._seen.add(obstacle)
-        self._obstacles.append(obstacle)
-        self._mbrs.append(obstacle.mbr())
-        self.stats.inserted += 1
-        self.epoch += 1
-        return True
+        with self.lock:
+            if obstacle in self._seen:
+                return False
+            self._seen.add(obstacle)
+            self._obstacles.append(obstacle)
+            self._mbrs.append(obstacle.mbr())
+            self.stats.inserted += 1
+            self.epoch += 1
+            return True
 
     def __len__(self) -> int:
         return len(self._obstacles)
 
     @property
     def obstacles(self) -> Sequence[Obstacle]:
-        """Every obstacle currently resident in the cache."""
+        """Every obstacle currently resident in the cache (live list)."""
         return self._obstacles
+
+    def resident(self) -> List[Obstacle]:
+        """A point-in-time copy of the resident obstacle set.
+
+        The concurrency-safe sibling of :attr:`obstacles` — callers that
+        seed visibility graphs while other queries may be appending must
+        copy under the cache lock.
+        """
+        with self.lock:
+            return list(self._obstacles)
 
     # -------------------------------------------------------------- coverage
     def covered(self, qseg: Segment, radius: float) -> bool:
         """True when every obstacle within ``radius`` of ``qseg`` is cached."""
-        self._validate()
-        return any(cap.contains(qseg, radius) for cap in self._capsules)
+        with self.lock:
+            self._validate()
+            return any(cap.contains(qseg, radius) for cap in self._capsules)
 
     def record_coverage(self, qseg: Segment, radius: float) -> None:
         """Register that ``(qseg, radius)`` has been exhaustively fetched."""
         if radius <= 0.0:
             return
-        new = Capsule(qseg.ax, qseg.ay, qseg.bx, qseg.by, float(radius))
-        kept = [cap for cap in self._capsules
-                if not new.contains(cap.spine, cap.radius)]
-        if not any(cap.contains(qseg, radius) for cap in kept):
-            kept.append(new)
-        self._capsules = kept[-self._max_capsules:]
+        with self.lock:
+            new = Capsule(qseg.ax, qseg.ay, qseg.bx, qseg.by, float(radius))
+            kept = [cap for cap in self._capsules
+                    if not new.contains(cap.spine, cap.radius)]
+            if not any(cap.contains(qseg, radius) for cap in kept):
+                kept.append(new)
+            self._capsules = kept[-self._max_capsules:]
 
     @property
     def coverage_regions(self) -> int:
         """Number of coverage capsules currently recorded."""
-        self._validate()
-        return len(self._capsules)
+        with self.lock:
+            self._validate()
+            return len(self._capsules)
 
     @property
     def capsules(self) -> Tuple[Capsule, ...]:
@@ -340,8 +366,9 @@ class ObstacleCache:
         obstacle I/O and the batch executor calibrates its prefetch margins
         from the newest one.
         """
-        self._validate()
-        return tuple(self._capsules)
+        with self.lock:
+            self._validate()
+            return tuple(self._capsules)
 
     # --------------------------------------------------------------- serving
     def ranked(self, qseg: Segment) -> List[Tuple[float, Obstacle]]:
@@ -354,23 +381,25 @@ class ObstacleCache:
         the repeated-query workload the cache targets — ranks once, not
         once per view.
         """
-        self._validate()
-        ax, ay, bx, by = qseg.ax, qseg.ay, qseg.bx, qseg.by
-        key = (ax, ay, bx, by)
-        memo = self._ranked_memo
-        if memo is not None and memo[0] == key and memo[1] == self.epoch:
-            return memo[2]
-        out = [(mbr.mindist_segment(ax, ay, bx, by), i)
-               for i, mbr in enumerate(self._mbrs)]
-        out.sort()
-        ranked = [(d, self._obstacles[i]) for d, i in out]
-        self._ranked_memo = (key, self.epoch, ranked)
-        return ranked
+        with self.lock:
+            self._validate()
+            ax, ay, bx, by = qseg.ax, qseg.ay, qseg.bx, qseg.by
+            key = (ax, ay, bx, by)
+            memo = self._ranked_memo
+            if memo is not None and memo[0] == key and memo[1] == self.epoch:
+                return memo[2]
+            out = [(mbr.mindist_segment(ax, ay, bx, by), i)
+                   for i, mbr in enumerate(self._mbrs)]
+            out.sort()
+            ranked = [(d, self._obstacles[i]) for d, i in out]
+            self._ranked_memo = (key, self.epoch, ranked)
+            return ranked
 
     def view(self, qseg: Segment, vg: LocalVisibilityGraph,
              stats: QueryStats) -> "CachedObstacleView":
         """Open a per-query obstacle feed over this cache."""
-        self._validate()
+        with self.lock:
+            self._validate()
         return CachedObstacleView(self, qseg, vg, stats)
 
     # ------------------------------------------------------------ prefetching
@@ -380,21 +409,22 @@ class ObstacleCache:
         Returns:
             Number of obstacles newly inserted.
         """
-        self._validate()
-        self.stats.prefetch_calls += 1
-        scan = self.fetcher.open_scan(qseg)
-        added = 0
-        while True:
-            key = scan.peek_key()
-            if math.isinf(key) or key > radius:
-                break
-            _d, payload, _rect = scan.pop()
-            self.stats.fetched += 1
-            if isinstance(payload, Obstacle) and self.add(payload):
-                added += 1
-        self.record_coverage(qseg, radius)
-        self.stats.prefetched += added
-        return added
+        with self.lock:
+            self._validate()
+            self.stats.prefetch_calls += 1
+            scan = self.fetcher.open_scan(qseg)
+            added = 0
+            while True:
+                key = scan.peek_key()
+                if math.isinf(key) or key > radius:
+                    break
+                _d, payload, _rect = scan.pop()
+                self.stats.fetched += 1
+                if isinstance(payload, Obstacle) and self.add(payload):
+                    added += 1
+            self.record_coverage(qseg, radius)
+            self.stats.prefetched += added
+            return added
 
     def prefetch(self, rect: Rect, margin: float = 0.0) -> int:
         """Warm the cache for a rectangular region of interest.
@@ -417,6 +447,35 @@ class ObstacleCache:
         workspace ever reads the obstacle tree again.
         """
         return self.prefetch_segment(Segment(0.0, 0.0, 0.0, 0.0), math.inf)
+
+    # ------------------------------------------------------------- snapshots
+    def read_view(self) -> "CacheReadView":
+        """A point-in-time descriptor of the cache's serving state.
+
+        Pinned by :class:`~repro.service.snapshot.WorkspaceSnapshot`: the
+        epoch and tree version say exactly which cached set a snapshot's
+        queries were answered from, without copying the obstacles
+        themselves.
+        """
+        with self.lock:
+            return CacheReadView(self.epoch, len(self._obstacles),
+                                 len(self._capsules), self._tree_version)
+
+
+class CacheReadView(NamedTuple):
+    """A frozen descriptor of one :class:`ObstacleCache` serving state."""
+
+    epoch: int
+    """Cache mutation epoch at pin time."""
+
+    resident: int
+    """Obstacles resident at pin time."""
+
+    capsules: int
+    """Coverage capsules recorded at pin time."""
+
+    tree_version: int
+    """The backing obstacle tree's mutation counter at pin time."""
 
 
 class CachedObstacleView:
@@ -465,9 +524,21 @@ class CachedObstacleView:
                 self._cursor += 1
 
     def ensure(self, radius: float) -> int:
-        """Grow coverage to ``radius``; return number of obstacles added."""
+        """Grow coverage to ``radius``; return number of obstacles added.
+
+        The whole round runs under the cache lock, so the covered-check,
+        the serving (or tree scan), and the capsule recording are one
+        atomic step with respect to concurrent queries — a parallel
+        neighbor can never observe a capsule whose obstacles are still in
+        flight.  Engine compute (Dijkstra, envelope merging) happens
+        outside ``ensure``, so only retrieval rounds serialize.
+        """
         if radius <= self.radius:
             return 0
+        with self._cache.lock:
+            return self._ensure_locked(radius)
+
+    def _ensure_locked(self, radius: float) -> int:
         cache = self._cache
         if cache.covered(self._qseg, radius):
             self._stats.cache_hits += 1

@@ -1,0 +1,206 @@
+"""Concurrency primitives of the service layer.
+
+The workspace's isolation model is *single writer, many snapshot readers*:
+
+* every query (and every batch of queries) executes inside a **read hold**
+  on the workspace's :class:`ReadWriteLock`, so it observes one frozen
+  version of the indexes, the obstacle cache, and the shared visibility
+  graph for its whole lifetime;
+* every :meth:`~repro.service.workspace.Workspace.apply` mutation takes the
+  **write side**, which waits for in-flight readers to drain (an *epoch
+  wait*) and blocks new queries until the indexes, cache, and routing graph
+  have moved to the next version together — a reader can never see half an
+  update.
+
+The lock is deliberately **reader-preferring**: a reader is admitted
+whenever no writer *holds* the lock, even while writers wait.  Writer
+preference would deadlock the layered read paths this library is built
+from — a parallel batch holds one read while its worker threads open
+nested reads (monitor repairs, trajectory legs, service shims), and those
+nested readers must never queue behind a writer that is itself waiting for
+the batch to finish.  Update starvation is bounded in practice by query
+latency; the ``write_waits`` counter reports how often writers actually
+had to wait.
+
+:class:`CountingRLock` wraps :class:`threading.RLock` with a contention
+counter so :class:`~repro.query.parallel.ConcurrencyStats` can report how
+often parallel workers actually collided on the shared caches instead of
+guessing from wall clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+from contextlib import contextmanager
+
+
+class SnapshotExpired(RuntimeError):
+    """The workspace mutated after this snapshot was taken.
+
+    Raised by :class:`~repro.service.snapshot.WorkspaceSnapshot` execution
+    entry points instead of silently serving answers for a dataset version
+    the caller no longer holds; take a fresh snapshot and retry.
+    """
+
+
+class CountingRLock:
+    """A re-entrant lock that counts contended acquisitions.
+
+    ``contended`` increments whenever an ``acquire`` could not be satisfied
+    immediately (another thread held the lock), which is exactly the
+    "parallel workers serialized here" signal concurrency stats want.
+    """
+
+    __slots__ = ("_lock", "contended", "acquisitions")
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.contended = 0
+        self.acquisitions = 0
+
+    def acquire(self) -> None:
+        if not self._lock.acquire(blocking=False):
+            self.contended += 1
+            self._lock.acquire()
+        self.acquisitions += 1
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> "CountingRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class ReadWriteLock:
+    """A re-entrant, reader-preferring readers-writer lock.
+
+    Semantics:
+
+    * any number of threads may hold the read side concurrently;
+    * the write side is exclusive against readers and other writers;
+    * both sides are re-entrant per thread, and a thread holding the
+      *write* side may freely enter the read side (the monitor layer
+      executes repair queries from maintenance code paths);
+    * readers are admitted while writers are merely *waiting* (see the
+      module docstring for why reader preference is load-bearing).
+
+    Counters (read without locking; approximate under heavy contention):
+
+    Attributes:
+        write_waits: times a writer found readers (or another writer)
+            in flight and had to block — the snapshot layer's "epoch
+            waits".
+        read_waits: times a reader had to block on a write in progress.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None  # owning thread id
+        self._write_depth = 0
+        self._tls = threading.local()
+        self.write_waits = 0
+        self.read_waits = 0
+
+    # ------------------------------------------------------------- read side
+    def _read_depth(self) -> int:
+        return getattr(self._tls, "read_depth", 0)
+
+    def _virtual_reads(self) -> int:
+        return getattr(self._tls, "virtual_reads", 0)
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        if self._writer == me:
+            # Read-under-own-write: covered by the exclusive hold; never
+            # touches the shared reader count (the write may even be
+            # released first without corrupting it).
+            self._tls.virtual_reads = self._virtual_reads() + 1
+            return
+        if self._read_depth() > 0:
+            self._tls.read_depth = self._read_depth() + 1
+            return
+        with self._cond:
+            if self._writer is not None:
+                self.read_waits += 1
+                while self._writer is not None:
+                    self._cond.wait()
+            self._readers += 1
+        self._tls.read_depth = 1
+
+    def release_read(self) -> None:
+        if self._virtual_reads() > 0:
+            self._tls.virtual_reads = self._virtual_reads() - 1
+            return
+        depth = self._read_depth()
+        if depth <= 0:
+            raise RuntimeError("release_read without acquire_read")
+        self._tls.read_depth = depth - 1
+        if depth > 1:
+            return
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Context manager form of the read side."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------ write side
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        if self._writer == me:
+            self._write_depth += 1
+            return
+        if self._read_depth() > 0:
+            raise RuntimeError(
+                "cannot upgrade a read hold to a write hold; apply updates "
+                "outside of snapshot execution")
+        with self._cond:
+            if self._readers > 0 or self._writer is not None:
+                self.write_waits += 1
+            while self._readers > 0 or self._writer is not None:
+                self._cond.wait()
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self) -> None:
+        if self._writer != threading.get_ident():
+            raise RuntimeError("release_write by a non-owning thread")
+        self._write_depth -= 1
+        if self._write_depth > 0:
+            return
+        with self._cond:
+            self._writer = None
+            self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Context manager form of the write side."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def readers(self) -> int:
+        """Threads currently holding the read side (approximate)."""
+        return self._readers
+
+    @property
+    def write_held(self) -> bool:
+        """True while some thread holds the write side."""
+        return self._writer is not None

@@ -27,7 +27,18 @@ Build a workspace whenever more than one query hits the same dataset::
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+import threading
+
+from typing import (
+    Any,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
 
 from ..core.config import DEFAULT_CONFIG, ConnConfig
 from ..core.conn_1t import UnifiedSource, build_unified_tree
@@ -47,7 +58,6 @@ from ..index.rstar import RStarTree
 from ..obstacles.obstacle import Obstacle
 from ..query.executor import execute as _execute
 from ..query.executor import execute_many as _execute_many
-from ..query.executor import stream as _stream
 from ..query.planner import DEFAULT_PLANNER, PlannerOptions, QueryPlan, build_plan
 from ..query.queries import (
     ClosestPairQuery,
@@ -72,6 +82,8 @@ from ..routing.backends import (
     SharedVGBackend,
 )
 from .cache import CacheStats, ObstacleCache
+from .concurrency import ReadWriteLock
+from .snapshot import WorkspaceSnapshot
 from .updates import (
     AddObstacle,
     AddSite,
@@ -155,6 +167,10 @@ class Workspace:
         version they were planned at; the executor re-plans any plan whose
         recorded version no longer matches."""
         self._monitors = None
+        self._rw = ReadWriteLock()
+        self.snapshots_taken = 0
+        """Snapshots handed out by :meth:`snapshot` (a concurrency-stats
+        input)."""
 
     # ----------------------------------------------------------- constructors
     @classmethod
@@ -194,6 +210,34 @@ class Workspace:
         obstacle_tree = RStarTree.bulk_load(
             ((o, o.mbr()) for o in obstacles), page_size=page_size)
         return cls.from_trees(data_tree, obstacle_tree, **kwargs)
+
+    # ------------------------------------------------------------ snapshots
+    def read_lock(self):
+        """The workspace's shared read hold (a context manager).
+
+        Every query execution runs inside one; acquire it directly to pin
+        the workspace across *several* operations — e.g. a parallel batch
+        followed by a serial verification pass over the same state.
+        Re-entrant per thread; updates (:meth:`apply`) wait until all read
+        holds drain.
+        """
+        return self._rw.read()
+
+    def snapshot(self) -> "WorkspaceSnapshot":
+        """Pin the current workspace version for isolated execution.
+
+        Cheap (a few integers; nothing is copied).  The returned
+        :class:`~repro.service.snapshot.WorkspaceSnapshot` executes
+        queries against exactly this version and raises
+        :class:`~repro.service.concurrency.SnapshotExpired` once the
+        workspace has moved on.
+        """
+        return WorkspaceSnapshot(self)
+
+    @property
+    def epoch_waits(self) -> int:
+        """Times an update had to wait for in-flight snapshot queries."""
+        return self._rw.write_waits
 
     # -------------------------------------------------------------- warm-up
     def prefetch(self, rect: Rect, margin: float = 0.0) -> int:
@@ -265,39 +309,54 @@ class Workspace:
         return [self._apply_one(u) for u in updates]
 
     def _apply_one(self, update: Update) -> bool:
-        """Route one update; returns False for a no-match removal."""
-        if isinstance(update, (AddSite, RemoveSite)):
-            tree = self.data_tree if self.layout == "2T" else self.unified_tree
-            if isinstance(update, AddSite):
-                tree.insert_point(update.payload, update.x, update.y)
-                applied = True
+        """Route one update; returns False for a no-match removal.
+
+        The index mutation, the cache/routing maintenance, and the version
+        bump happen atomically under the workspace **write lock** — an
+        update waits for in-flight snapshot queries to drain (an epoch
+        wait) and no query can start until the trees, the obstacle cache,
+        and the shared visibility graph have moved to the new version
+        together.  Monitor repair runs *after* the write releases: repair
+        executes queries of its own, which take read holds on the freshly
+        published version.
+        """
+        with self._rw.write():
+            if isinstance(update, (AddSite, RemoveSite)):
+                tree = (self.data_tree if self.layout == "2T"
+                        else self.unified_tree)
+                if isinstance(update, AddSite):
+                    tree.insert_point(update.payload, update.x, update.y)
+                    applied = True
+                else:
+                    applied = tree.delete(update.payload,
+                                          Rect.point(update.x, update.y))
+                # On 1T the cache's backing tree just changed version, but
+                # data points are invisible to obstacle coverage: adopt,
+                # don't drop.
+                if applied and self.layout == "1T":
+                    self.cache.sync_tree_version()
+                    self.routing.sync_tree_version()
+            elif isinstance(update, (AddObstacle, RemoveObstacle)):
+                tree = (self.obstacle_tree if self.layout == "2T"
+                        else self.unified_tree)
+                if isinstance(update, AddObstacle):
+                    tree.insert(update.obstacle, update.obstacle.mbr())
+                    self.cache.note_obstacle_insert(update.obstacle)
+                    self.routing.note_obstacle_insert(update.obstacle)
+                    applied = True
+                else:
+                    applied = tree.delete(update.obstacle,
+                                          update.obstacle.mbr())
+                    if applied:
+                        self.cache.note_obstacle_remove(update.obstacle)
+                        self.routing.note_obstacle_remove(update.obstacle)
             else:
-                applied = tree.delete(update.payload,
-                                      Rect.point(update.x, update.y))
-            # On 1T the cache's backing tree just changed version, but data
-            # points are invisible to obstacle coverage: adopt, don't drop.
-            if applied and self.layout == "1T":
-                self.cache.sync_tree_version()
-                self.routing.sync_tree_version()
-        elif isinstance(update, (AddObstacle, RemoveObstacle)):
-            tree = (self.obstacle_tree if self.layout == "2T"
-                    else self.unified_tree)
-            if isinstance(update, AddObstacle):
-                tree.insert(update.obstacle, update.obstacle.mbr())
-                self.cache.note_obstacle_insert(update.obstacle)
-                self.routing.note_obstacle_insert(update.obstacle)
-                applied = True
-            else:
-                applied = tree.delete(update.obstacle, update.obstacle.mbr())
-                if applied:
-                    self.cache.note_obstacle_remove(update.obstacle)
-                    self.routing.note_obstacle_remove(update.obstacle)
-        else:
-            raise TypeError(f"unknown update type {type(update).__name__}")
-        if applied:
-            self.version += 1
-            if self._monitors is not None:
-                self._monitors.notify(update)
+                raise TypeError(
+                    f"unknown update type {type(update).__name__}")
+            if applied:
+                self.version += 1
+        if applied and self._monitors is not None:
+            self._monitors.notify(update)
         return applied
 
     # ------------------------------------------------- declarative interface
@@ -336,11 +395,15 @@ class Workspace:
 
         Every result satisfies the unified protocol: ``.tuples()``,
         ``.stats``, and a ``.query`` back-reference to the submission.
+        Execution runs inside a read hold, so a concurrent :meth:`apply`
+        can never be observed mid-query.
         """
-        return _execute(self, query)
+        with self._rw.read():
+            return _execute(self, query)
 
     def execute_many(self, queries: Iterable[Query], *,
-                     schedule: str = "locality") -> List[QueryResult]:
+                     schedule: str = "locality", workers: int = 1,
+                     mode: str = "thread") -> List[QueryResult]:
         """Execute a batch of typed queries, reordered for cache locality.
 
         With the default ``schedule="locality"`` the executor buckets
@@ -348,12 +411,44 @@ class Workspace:
         capsule-driven prefetches so cache hits compound across the batch;
         ``schedule="fifo"`` preserves submission order exactly.  Results
         are always returned in submission order.
+
+        Args:
+            workers: with ``workers > 1``, locality buckets are
+                partitioned across a worker pool and executed in parallel
+                against one snapshot of this workspace (results identical
+                to serial execution; see :mod:`repro.query.parallel`).
+            mode: ``"thread"`` (share this process's caches through their
+                locks) or ``"fork"`` (fan out over forked worker
+                processes — true multi-core parallelism; POSIX only).
+
+        The whole batch runs under one read hold: concurrent updates wait
+        for it to drain and every query of the batch sees the same
+        workspace version.
         """
-        return _execute_many(self, queries, schedule=schedule)
+        if workers > 1:
+            from ..query.parallel import execute_many_parallel
+
+            # Snapshot *inside* the read hold: this entry point promises
+            # plain thread-safety, so a concurrent apply() between pinning
+            # and verification must wait for the batch rather than expire
+            # it (explicit snapshots, which can expire, stay available via
+            # WorkspaceSnapshot.execute_many).
+            with self._rw.read():
+                return execute_many_parallel(self.snapshot(), queries,
+                                             schedule=schedule,
+                                             workers=workers, mode=mode)
+        with self._rw.read():
+            return _execute_many(self, queries, schedule=schedule)
 
     def stream(self, queries: Iterable[Query]) -> Iterator[QueryResult]:
-        """Lazily execute ``queries`` in submission order as an iterator."""
-        return _stream(self, queries)
+        """Lazily execute ``queries`` in submission order as an iterator.
+
+        Each query takes its own read hold as the iterator advances —
+        updates may interleave *between* queries of a stream (use
+        :meth:`snapshot` + :meth:`~WorkspaceSnapshot.execute` to pin one
+        version across a whole stream instead).
+        """
+        return (self.execute(q) for q in queries)
 
     # ------------------------------------------------------ legacy shortcuts
     def conn(self, query: Segment,
@@ -425,6 +520,66 @@ class QueryService:
 
     def __init__(self, workspace: Workspace):
         self._ws = workspace
+        self._pool = None
+        self._pool_workers = 0
+        self._pool_lock = threading.Lock()
+
+    # --------------------------------------------------- async serving front
+    def serve(self, workers: int = 2) -> "QueryService":
+        """Start (or resize) the service's background worker pool.
+
+        After ``serve``, :meth:`submit` dispatches queries to the pool and
+        returns futures immediately.  Usable as a context manager::
+
+            with ws.service.serve(workers=4) as svc:
+                futures = [svc.submit(q) for q in queries]
+                answers = [f.result() for f in futures]
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        with self._pool_lock:
+            if self._pool is not None and self._pool_workers != workers:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-serve")
+                self._pool_workers = workers
+        return self
+
+    def submit(self, query: Query):
+        """Submit one typed query for asynchronous execution.
+
+        Returns:
+            A :class:`concurrent.futures.Future` resolving to the query's
+            unified result.  Each submitted query executes under its own
+            read hold (one consistent workspace version per query);
+            submissions may interleave freely with :meth:`Workspace.apply`
+            from other threads.  Starts a default pool on first use if
+            :meth:`serve` was not called.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=2, thread_name_prefix="repro-serve")
+                self._pool_workers = 2
+            return self._pool.submit(self._ws.execute, query)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the background pool (no-op when never started)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=wait)
+                self._pool = None
+                self._pool_workers = 0
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
 
     def _config(self, config: Optional[ConnConfig]) -> ConnConfig:
         return config if config is not None else self._ws.config
@@ -454,10 +609,11 @@ class QueryService:
             source = retriever = _CachingUnifiedSource(
                 ws.unified_tree, anchor, vg, stats, ws.cache)
             trackers = (ws.unified_tree.tracker,)
-        snap = tracker.stats.snapshot()
+        snap = tracker.local_stats.snapshot()
 
         def finish() -> None:
-            stats.obstacle_reads = tracker.stats.delta(snap).logical_reads
+            stats.obstacle_reads = \
+                tracker.local_stats.delta(snap).logical_reads
 
         return source, retriever, trackers, finish
 
@@ -558,14 +714,27 @@ class QueryService:
                         k: int, config: Optional[ConnConfig],
                         backend: Optional[ObstructedDistanceBackend] = None
                         ) -> TrajectoryResult:
-        legs: List[ConnResult] = []
-        for (ax, ay), (bx, by) in zip(waypoints, waypoints[1:]):
-            seg = Segment(float(ax), float(ay), float(bx), float(by))
-            if seg.is_degenerate():
-                continue
-            legs.append(self._run_coknn(seg, k, config, backend))
-        if not legs:
+        segs = [Segment(float(ax), float(ay), float(bx), float(by))
+                for (ax, ay), (bx, by) in zip(waypoints, waypoints[1:])]
+        segs = [s for s in segs if not s.is_degenerate()]
+        if not segs:
             raise ValueError("trajectory has no leg of positive length")
+        workers = self._ws.planner.parallel_workers
+        if workers > 1 and len(segs) > 1:
+            # Legs are independent sub-queries over one frozen workspace
+            # state (the caller's read hold covers every worker thread's
+            # nested reads): run them on a throwaway pool, keep submission
+            # order.  Identical answers; this is what the planner's
+            # ``est_parallel_speedup`` prices.
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                    max_workers=min(workers, len(segs))) as pool:
+                legs = list(pool.map(
+                    lambda seg: self._run_coknn(seg, k, config, backend),
+                    segs))
+        else:
+            legs = [self._run_coknn(seg, k, config, backend) for seg in segs]
         return TrajectoryResult(waypoints, legs, k)
 
     # ----------------------------------------------------------------- joins

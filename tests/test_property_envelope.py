@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 
 import numpy as np
-from hypothesis import assume, given, settings
+from hypothesis import assume, example, given, settings
 from hypothesis import strategies as st
 
 from repro.core import ConnConfig, PiecewiseDistance, crossing_params
@@ -56,6 +56,16 @@ class TestEnvelopeAlgebra:
 
     @given(distance_functions("a"), distance_functions("b"),
            distance_functions("c"))
+    # The boundary-tie regression PR 4's review caught: with every control
+    # point *on* the query line, fb and fc coincide on the ray t >= 1, the
+    # squared tie equation degenerates to an identity, and merge order used
+    # to decide whether fb's strict win on [0, 1) was ever discovered.
+    @example(fa=PiecewiseDistance.from_region(
+                 Q, IntervalSet.full(0.0, Q.length), (0.0, 0.0), 0.0, "a"),
+             fb=PiecewiseDistance.from_region(
+                 Q, IntervalSet.full(0.0, Q.length), (0.0, 0.0), 0.0, "b"),
+             fc=PiecewiseDistance.from_region(
+                 Q, IntervalSet.full(0.0, Q.length), (1.0, 0.0), 1.0, "c"))
     @settings(max_examples=40, deadline=None)
     def test_insertion_order_invariance(self, fa, fb, fc):
         def build(order):

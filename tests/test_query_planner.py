@@ -112,6 +112,23 @@ class TestPlanSelection:
         plan = make_ws(parts).plan(RangeQuery((10, 10), 17.5))
         assert plan.est_radius == 17.5
 
+    def test_planner_prices_parallelism(self, parts):
+        waypoints = tuple((10.0 * i, 20.0 + 5.0 * (i % 3))
+                          for i in range(7))  # 6 legs
+        traj = TrajectoryQuery(waypoints, 2)
+        serial_ws = make_ws(parts)
+        assert serial_ws.plan(traj).est_parallel_speedup == 1.0
+        ws = make_ws(parts, planner=PlannerOptions(parallel_workers=4))
+        plan = ws.plan(traj)
+        # 6 legs over 4 workers drain in 2 pool rounds: 3x.
+        assert plan.est_parallel_speedup == pytest.approx(3.0)
+        assert "speedup" in plan.explain()
+        # Single-segment plans are inherently serial.
+        assert ws.plan(ConnQuery(SEG)).est_parallel_speedup == 1.0
+        # And the trajectory executor honors the priced pool: identical
+        # answers with parallel legs.
+        assert ws.execute(traj).tuples() == serial_ws.execute(traj).tuples()
+
     def test_execute_accepts_prepared_plan(self, parts):
         ws = make_ws(parts)
         q = ConnQuery(SEG)

@@ -195,17 +195,29 @@ class TestSharedGraphLifecycle:
             [*POINTS, (99, (50.0, 52.0))], OBS, layout="1T").conn(SEG)
         assert_same_result(got, want, SEG)
 
-    def test_nested_attach_falls_back_to_isolated_graph(self):
+    def test_nested_attach_gets_its_own_graph(self):
+        """A second attach while the primary is busy (a nested sub-query or
+        a concurrent worker) is served by its own spawned graph — never by
+        the graph another session is mutating."""
         ot = build_obstacle_tree(OBS)
         backend = SharedVGBackend(ot)
         outer = backend.attach_endpoints(SEG)
         inner = backend.attach_endpoints(Segment(0, 10, 100, 10))
-        assert outer.shared and not inner.shared
+        assert outer.shared and inner.shared
         assert inner.graph is not outer.graph
+        assert outer.graph is backend._graph
         inner.detach()
         assert outer.graph.qseg is not None  # outer still bound
+        assert backend.pooled_graphs == 1  # inner's graph returned to pool
         outer.detach()
-        assert backend._active is None
+        assert backend.stats.graph_spawns == 1
+        # The pooled spare is reused by the next concurrent pair, not
+        # rebuilt.
+        outer = backend.attach_endpoints(SEG)
+        inner = backend.attach_endpoints(Segment(0, 10, 100, 10))
+        assert backend.stats.graph_spawns == 1
+        inner.detach()
+        outer.detach()
 
     def test_dead_slots_stay_bounded_over_long_workloads(self):
         """Compaction keeps a long-lived shared graph O(skeleton), not
