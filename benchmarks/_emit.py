@@ -1,10 +1,14 @@
 """Machine-readable benchmark emission (the perf-trajectory artifact).
 
 Every benchmark that participates in the performance trajectory merges one
-section into a single JSON file (default ``BENCH_PR5.json`` at the
+section into a single JSON file (default ``BENCH_PR7.json`` at the
 repository root, override with ``--json`` or the ``BENCH_JSON`` environment
 variable).  CI uploads the file as a build artifact, so speedups are
 diffable across PRs instead of living in log scrollback.
+
+Host metadata — including the git revision when one is resolvable — rides
+along with every section; emission never fails because the benchmark ran
+from an export, a tarball, or any other tree without a git worktree.
 """
 
 from __future__ import annotations
@@ -12,11 +16,33 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
 from pathlib import Path
 from typing import Any, Dict
 
-DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+
+
+def _git_rev() -> "str | None":
+    """The current commit hash, or None when there is no usable worktree.
+
+    Benchmarks run from source exports, CI caches, and containers where
+    ``.git`` may be absent, git may be uninstalled, or the directory may be
+    owned by another user (git's ``dubious ownership`` refusal) — all of
+    those degrade to None instead of raising.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(Path(__file__).resolve().parent.parent),
+             "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    rev = proc.stdout.strip()
+    return rev or None
 
 
 def emit(section: str, payload: Dict[str, Any],
@@ -40,6 +66,7 @@ def emit(section: str, payload: Dict[str, Any],
         "machine": platform.machine(),
         "cpus": os.cpu_count(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git": _git_rev(),
     }
     data[section] = payload
     target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

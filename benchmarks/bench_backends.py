@@ -211,7 +211,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--page-size", type=int, default=256)
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--json", default=None,
-                        help="benchmark JSON path (default BENCH_PR5.json)")
+                        help="benchmark JSON path (default BENCH_PR7.json)")
     args = parser.parse_args(argv)
 
     failures = []

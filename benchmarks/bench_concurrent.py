@@ -17,7 +17,7 @@ The guard asserts **byte-identical result tuples** across all arms —
 parallelism must change wall clock only — and, when the host has the
 cores for it (or ``--require-speedup`` insists), that fork-mode
 throughput reaches the configured multiple of serial at the configured
-worker count.  Results are emitted to ``BENCH_PR5.json`` for the CI
+worker count.  Results are emitted to ``BENCH_PR5.json`` (pinned by CI) for the
 artifact trail.
 
 Run from the repository root::
@@ -130,7 +130,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "multiple of serial (skipped with a warning "
                              "when the host lacks the cores)")
     parser.add_argument("--json", default=None,
-                        help="benchmark JSON path (default BENCH_PR5.json)")
+                        help="benchmark JSON path (default BENCH_PR7.json)")
     args = parser.parse_args(argv)
 
     points, obstacles = build_scene(args)

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Aggregate throughput vs shard count (the PR 7 tentpole bench).
+
+One warm mixed CONN/COkNN/ONN/range workload is executed over the same
+scene partitioned into 1, 2, 4, ... shards
+(:class:`~repro.shard.ShardedWorkspace`).  Each arm schedules the
+shard-local batches across a fork-mode worker pool
+(``execute_many(..., mode="fork")``), so shard count translates into
+process-level parallelism over mostly-disjoint working sets.
+
+Two guards:
+
+* ``--require-identical`` — every arm's result tuples must be
+  byte-identical to the unsharded workspace's serial execution (the
+  border-expansion protocol's core promise);
+* ``--require-scaling`` — aggregate QPS at the widest shard count must
+  reach the given multiple of the single-shard arm (skipped with a
+  warning when the host lacks the cores for headroom).
+
+Results — QPS per shard count plus the router's :class:`ShardStats`
+(cross-shard fan-out ratio, border expansions, replicated obstacles) —
+are emitted to ``BENCH_PR7.json`` for the artifact trail.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_shards.py
+    PYTHONPATH=src python benchmarks/bench_shards.py \
+        --shards 1,2,4,9 --workers 4 --require-identical
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+from typing import List, Sequence
+
+from _emit import emit
+
+from repro import (
+    CoknnQuery,
+    ConnQuery,
+    OnnQuery,
+    RangeQuery,
+    RectObstacle,
+    Segment,
+    Workspace,
+)
+from repro.query.parallel import effective_workers
+from repro.shard import ShardedWorkspace
+
+
+def build_scene(args):
+    """A building lattice plus scattered reachable data points."""
+    rng = random.Random(args.seed)
+    side = args.obstacle_side
+    step = (100.0 - 6.0) / side
+    obstacles = [RectObstacle(3 + step * gx, 3 + step * gy,
+                              3 + step * gx + 0.4 * step,
+                              3 + step * gy + 0.3 * step)
+                 for gx in range(side) for gy in range(side)]
+    points = []
+    while len(points) < args.points:
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        if not any(o.contains_interior(x, y) for o in obstacles):
+            points.append((len(points), (x, y)))
+    return points, obstacles
+
+
+def mixed_workload(args) -> List:
+    """Short local queries scattered over the scene (shard-friendly)."""
+    rng = random.Random(args.seed + 1)
+    queries = []
+    for i in range(args.queries):
+        x, y = rng.uniform(5, 80), rng.uniform(5, 85)
+        roll = i % 4
+        if roll == 0:
+            queries.append(ConnQuery(
+                Segment(x, y, x + rng.uniform(4, 12), y),
+                label=f"conn-{i}"))
+        elif roll == 1:
+            queries.append(CoknnQuery(
+                Segment(x, y, x, y + rng.uniform(4, 12)),
+                rng.randrange(2, 4), label=f"coknn-{i}"))
+        elif roll == 2:
+            queries.append(OnnQuery((x, y), rng.randrange(1, 4),
+                                    label=f"onn-{i}"))
+        else:
+            queries.append(RangeQuery((x, y), rng.uniform(5, 12),
+                                      label=f"range-{i}"))
+    return queries
+
+
+def result_rows(results) -> list:
+    """Exact comparable view: full tuples, no rounding."""
+    return [res.tuples() for res in results]
+
+
+def run_arm(sws: ShardedWorkspace, queries, workers: int, mode: str):
+    started = time.perf_counter()
+    results = sws.execute_many(queries, workers=workers, mode=mode)
+    wall = time.perf_counter() - started
+    return wall, result_rows(results)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Aggregate throughput vs shard count.")
+    parser.add_argument("--points", type=int, default=60)
+    parser.add_argument("--obstacle-side", type=int, default=7,
+                        help="buildings per axis (side^2 obstacles)")
+    parser.add_argument("--queries", type=int, default=120,
+                        help="warm mixed workload size")
+    parser.add_argument("--shards", default="1,2,4",
+                        help="comma-separated shard counts to sweep")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker pool size per arm")
+    parser.add_argument("--mode", choices=("thread", "fork"), default=None,
+                        help="pool mode (default: fork when available)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed repetitions per arm (best is reported)")
+    parser.add_argument("--page-size", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--require-identical", action="store_true",
+                        help="fail unless every arm matches the unsharded "
+                             "workspace byte for byte")
+    parser.add_argument("--require-scaling", type=float, default=0.0,
+                        help="fail unless the widest arm's QPS reaches this "
+                             "multiple of the single-shard arm (skipped "
+                             "when the host lacks the cores)")
+    parser.add_argument("--json", default=None,
+                        help="benchmark JSON path (default BENCH_PR7.json)")
+    args = parser.parse_args(argv)
+
+    mode = args.mode or ("fork" if hasattr(os, "fork") else "thread")
+    shard_counts = sorted({int(s) for s in args.shards.split(",")})
+    points, obstacles = build_scene(args)
+    queries = mixed_workload(args)
+
+    ws = Workspace.from_points(points, obstacles, page_size=args.page_size)
+    ws.prefetch_all()
+    baseline = result_rows(ws.execute_many(queries))
+
+    workers = effective_workers(args.workers, mode)
+    print(f"Shard sweep — {len(queries)} queries ({args.points} points, "
+          f"{len(obstacles)} obstacles), {workers} {mode} worker(s), "
+          f"host cpus: {os.cpu_count()}")
+    print(f"  {'shards':>6}  {'wall s':>8}  {'qps':>8}  {'speedup':>8}  "
+          f"{'fan-out':>7}  {'expand':>6}  {'repl':>5}")
+
+    arms: dict = {}
+    failures: List[str] = []
+    for count in shard_counts:
+        sws = ShardedWorkspace.from_points(
+            points, obstacles, shards=count, page_size=args.page_size)
+        sws.prefetch_all()
+        best_wall, rows = None, None
+        for _ in range(max(1, args.repeats)):
+            wall, got = run_arm(sws, queries, workers, mode)
+            if best_wall is None or wall < best_wall:
+                best_wall, rows = wall, got
+        if rows != baseline:
+            failures.append(f"{count}-shard arm diverged from the "
+                            "unsharded workspace")
+        stats = sws.stats
+        arms[str(count)] = {
+            "shards": count,
+            "wall_s": best_wall,
+            "qps": len(queries) / best_wall if best_wall > 0 else 0.0,
+            "fanout_ratio": stats.fanout_ratio,
+            "border_expansions": stats.border_expansions,
+            "replicated_obstacles": stats.replicated_obstacles,
+            "identical": rows == baseline,
+        }
+
+    base_qps = arms[str(shard_counts[0])]["qps"]
+    for count in shard_counts:
+        row = arms[str(count)]
+        row["speedup"] = row["qps"] / base_qps if base_qps > 0 else 0.0
+        print(f"  {count:>6}  {row['wall_s']:>8.3f}  {row['qps']:>8.1f}  "
+              f"{row['speedup']:>7.2f}x  {row['fanout_ratio']:>7.2f}  "
+              f"{row['border_expansions']:>6}  "
+              f"{row['replicated_obstacles']:>5}")
+
+    widest = arms[str(shard_counts[-1])]
+    if args.require_scaling > 0:
+        # Scaling needs headroom: with fewer effective workers than the
+        # threshold (or a single-entry sweep) the requirement cannot be
+        # met even with zero overhead — skip rather than fail.
+        if len(shard_counts) < 2 or workers <= args.require_scaling:
+            print(f"\n  WARNING: {workers} effective worker(s); "
+                  f"--require-scaling {args.require_scaling} skipped "
+                  "(no headroom above the theoretical ceiling)")
+        elif widest["speedup"] < args.require_scaling:
+            failures.append(
+                f"{widest['shards']}-shard QPS speedup "
+                f"{widest['speedup']:.2f}x below required "
+                f"{args.require_scaling:.2f}x")
+
+    identical = all(row["identical"] for row in arms.values())
+    emit("bench_shards", {
+        "workload": {"queries": len(queries), "points": args.points,
+                     "obstacles": len(obstacles), "seed": args.seed,
+                     "kind": "warm mixed CONN/COkNN/ONN/range"},
+        "mode": mode,
+        "workers": workers,
+        "arms": arms,
+        "identical_results": identical,
+    }, path=args.json)
+
+    if args.require_identical and not identical:
+        failures.append("sharded answers diverged (see per-arm flags)")
+    if failures:
+        for f in failures:
+            print(f"\nERROR: {f}")
+        return 1
+    print("\n  identical result tuples across every shard count")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

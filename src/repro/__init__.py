@@ -106,6 +106,13 @@ from .service import (
     Workspace,
     WorkspaceSnapshot,
 )
+from .shard import (
+    GridPartitioner,
+    HilbertPartitioner,
+    ShardedSnapshot,
+    ShardedWorkspace,
+    ShardStats,
+)
 from .obstacles import (
     LocalVisibilityGraph,
     Obstacle,
@@ -118,7 +125,7 @@ from .obstacles import (
     visible_region,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AddObstacle",
@@ -138,6 +145,8 @@ __all__ = [
     "DEFAULT_CONFIG",
     "EDistanceJoinQuery",
     "GlobalVisibilityGraph",
+    "GridPartitioner",
+    "HilbertPartitioner",
     "IncrementalNearest",
     "IntervalSet",
     "JoinResult",
@@ -174,6 +183,9 @@ __all__ = [
     "Segment",
     "SegmentObstacle",
     "SemiJoinQuery",
+    "ShardStats",
+    "ShardedSnapshot",
+    "ShardedWorkspace",
     "SharedVGBackend",
     "SnapshotExpired",
     "TrajectoryQuery",

@@ -10,9 +10,13 @@ ablation study.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from ..index.pagestore import IO_MS_PER_FAULT, IOStats
 from ..routing.stats import BackendStats
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..shard.stats import ShardStats
 
 
 @dataclass
@@ -82,6 +86,11 @@ class QueryStats:
     Dijkstra vs visibility tests (see
     :class:`~repro.routing.stats.BackendStats`)."""
 
+    shard: Optional["ShardStats"] = None
+    """Cross-shard routing block (consulted shards, border expansions) when
+    this query ran through a :class:`~repro.shard.ShardedWorkspace`; None
+    for unsharded execution."""
+
     @property
     def io_time_ms(self) -> float:
         """Charged I/O time (10 ms per page fault, as in the paper)."""
@@ -118,3 +127,8 @@ class QueryStats:
         self.backend.merge(other.backend)
         if not self.backend_name:
             self.backend_name = other.backend_name
+        if other.shard is not None:
+            if self.shard is None:
+                from ..shard.stats import ShardStats
+                self.shard = ShardStats()
+            self.shard.merge(other.shard)

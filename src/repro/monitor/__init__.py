@@ -35,6 +35,9 @@ from .monitor import (
     Monitor,
     MonitorEvent,
     ResultDelta,
+    diff_intervals,
+    diff_neighbors,
+    influence_radius,
 )
 from .registry import MaintenanceStats, MonitorRegistry
 
@@ -47,4 +50,7 @@ __all__ = [
     "REPAIR",
     "RERUN",
     "ResultDelta",
+    "diff_intervals",
+    "diff_neighbors",
+    "influence_radius",
 ]

@@ -29,7 +29,13 @@ from ..core.stats import QueryStats
 from ..geometry.predicates import EPS
 from ..geometry.rectangle import Rect
 from ..geometry.segment import Segment
-from ..query.queries import CoknnQuery, OnnQuery, Query, RangeQuery
+from ..query.queries import (
+    CoknnQuery,
+    OnnQuery,
+    Query,
+    RangeQuery,
+    TrajectoryQuery,
+)
 from ..query.results import NeighborsResult
 from ..service.updates import AddObstacle, RemoveSite, Update
 
@@ -70,6 +76,32 @@ class ResultDelta:
 
 
 EMPTY_DELTA = ResultDelta()
+
+
+def influence_radius(query: Query, result) -> float:
+    """The influence radius ``R`` of a standing answer (see module docs).
+
+    An obstructed path of length ``L`` from a query location stays inside
+    the Euclidean ball of radius ``L`` around it, so nothing at Euclidean
+    distance greater than ``R`` from the query footprint can change (or be
+    needed to verify) the answer.  This single bound backs both the
+    monitors' affected-tests and the shard router's border-expansion
+    containment check.  Infinite while any part of the answer lacks a
+    known k-th path (anything could improve it).
+    """
+    if isinstance(query, TrajectoryQuery):
+        return max(leg.levels[-1].max_endpoint_value()
+                   for leg in result.legs)
+    if isinstance(query, CoknnQuery):  # covers ConnQuery
+        return result.levels[-1].max_endpoint_value()
+    if isinstance(query, RangeQuery):
+        return query.radius
+    if isinstance(query, OnnQuery):
+        rows = result.tuples()
+        if len(rows) < query.k:
+            return math.inf
+        return rows[-1][1]
+    raise TypeError(f"no influence radius for query kind {query.kind!r}")
 
 
 @dataclass(frozen=True)
@@ -211,7 +243,7 @@ class SegmentMonitor(Monitor):
     def _influence(self) -> float:
         """Max k-th-level distance over the segment (inf while any part of
         the segment lacks a known k-th path)."""
-        return self.result.levels[-1].max_endpoint_value()
+        return influence_radius(self.query, self.result)
 
     def _affected_spans(self, update: Update,
                         footprint: Rect) -> List[Tuple[float, float]]:
@@ -330,12 +362,7 @@ class PointMonitor(Monitor):
         return self.query.point
 
     def _influence(self) -> float:
-        if isinstance(self.query, RangeQuery):
-            return self.query.radius
-        rows = self.result.tuples()
-        if len(rows) < self.query.k:
-            return math.inf
-        return rows[-1][1]
+        return influence_radius(self.query, self.result)
 
     def _refresh(self, update: Update):
         old = self.result.tuples()
@@ -348,7 +375,7 @@ class PointMonitor(Monitor):
             if d > self._influence() + EPS:
                 return NO_OP, (), EMPTY_DELTA
         self.result = self._execute_shared(self.query)
-        return RERUN, (), _diff_neighbors(old, self.result.tuples())
+        return RERUN, (), diff_neighbors(old, self.result.tuples())
 
 
 def _merge_spans(spans: List[Tuple[float, float]],
@@ -363,8 +390,8 @@ def _merge_spans(spans: List[Tuple[float, float]],
     return out
 
 
-def _diff_neighbors(old: List[Tuple[Any, float]],
-                    new: List[Tuple[Any, float]]) -> ResultDelta:
+def diff_neighbors(old: List[Tuple[Any, float]],
+                   new: List[Tuple[Any, float]]) -> ResultDelta:
     """Delta between two ``(payload, distance)`` answer lists."""
     old_by = {payload: dist for payload, dist in old}
     new_by = {payload: dist for payload, dist in new}
@@ -402,5 +429,7 @@ __all__ = [
     "ResultDelta",
     "SegmentMonitor",
     "diff_intervals",
+    "diff_neighbors",
+    "influence_radius",
     "monitor_for",
 ]

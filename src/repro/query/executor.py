@@ -187,12 +187,17 @@ def _locality_buckets(ws: "Workspace",
     while side <= max_coord:
         side *= 2
     ordered = sorted(buckets.items(),
-                     key=lambda kv: _hilbert_index(side, kv[0][0], kv[0][1]))
+                     key=lambda kv: hilbert_index(side, kv[0][0], kv[0][1]))
     return [sorted(idxs) for _key, idxs in ordered]
 
 
-def _hilbert_index(side: int, x: int, y: int) -> int:
-    """Hilbert-curve index of cell ``(x, y)`` on a ``side`` x ``side`` grid."""
+def hilbert_index(side: int, x: int, y: int) -> int:
+    """Hilbert-curve index of cell ``(x, y)`` on a ``side`` x ``side`` grid.
+
+    The locality order behind both the batch scheduler's bucket walk and
+    the shard subsystem's :class:`~repro.shard.partition.HilbertPartitioner`
+    ranges.
+    """
     d = 0
     s = side // 2
     while s > 0:

@@ -175,6 +175,10 @@ class QueryPlan:
     """Mutation counters of the workspace's backing trees at plan time.
     Catches mutations applied to a tree directly (bypassing the workspace),
     which leave ``workspace_version`` untouched."""
+    est_shard_fanout: int = 0
+    """Shards a :class:`~repro.shard.ShardedWorkspace` router predicts this
+    query will consult (home shards plus the estimated influence ball's
+    spill-over).  ``0`` for plans built on an unsharded workspace."""
 
     def explain(self) -> str:
         """Human-readable plan transcript (the declarative ``EXPLAIN``)."""
@@ -207,6 +211,9 @@ class QueryPlan:
             f"on this plan's independent units",
             f"  config    : {flags}",
         ]
+        if self.est_shard_fanout > 0:
+            lines.insert(-1, f"  shards    : est. fan-out "
+                         f"{self.est_shard_fanout}")
         for note in self.notes:
             lines.append(f"  note      : {note}")
         return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Shard observability counters (:class:`ShardStats`).
+
+One :class:`ShardStats` block exists at two granularities:
+
+* per query — the router attaches a block to ``result.stats.shard``
+  describing what *that* query did: which shards it consulted, how many
+  border expansions it took to prove its influence ball covered;
+* per workspace — :attr:`ShardedWorkspace.stats` accumulates every routed
+  query plus structural counters (replicated obstacles, merged
+  environments built/reused, monitor re-homings).
+
+The block is deliberately dependency-free so :class:`~repro.core.stats.
+QueryStats` can carry one without importing the shard subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ShardStats:
+    """What sharded routing did — for one query or cumulatively."""
+
+    queries: int = 0
+    """Queries routed through the sharded workspace."""
+
+    by_shard: Dict[int, int] = field(default_factory=dict)
+    """Per-shard consult counts: ``shard id -> queries that read it``.
+    A query that fanned out to three shards counts once in each."""
+
+    border_expansions: int = 0
+    """Expansion rounds past the first execution — times a query's
+    influence ball crossed out of its current shard set and forced a
+    wider re-execution."""
+
+    fanout: int = 0
+    """Total shards consulted, summed over queries (drives
+    :attr:`fanout_ratio`)."""
+
+    replicated_obstacles: int = 0
+    """Extra obstacle copies currently stored because an obstacle's MBR
+    straddles shard boundaries (an obstacle living in three shards
+    contributes two).  Workspace-level only; zero on per-query blocks."""
+
+    merges_built: int = 0
+    """Cross-shard merged environments materialized by the router."""
+
+    merge_reuses: int = 0
+    """Cross-shard executions served by an already-materialized merged
+    environment."""
+
+    rehomes: int = 0
+    """Standing monitors moved to a different owning shard set by a
+    boundary-crossing update.  Workspace-level only."""
+
+    @property
+    def fanout_ratio(self) -> float:
+        """Mean shards consulted per query (1.0 = perfectly shard-local)."""
+        return self.fanout / self.queries if self.queries else 0.0
+
+    @property
+    def expansion_rate(self) -> float:
+        """Fraction of queries that needed at least one border expansion."""
+        return self.border_expansions / self.queries if self.queries else 0.0
+
+    def merge(self, other: "ShardStats") -> None:
+        """Accumulate another block's counters into this one."""
+        self.queries += other.queries
+        for sid, n in other.by_shard.items():
+            self.by_shard[sid] = self.by_shard.get(sid, 0) + n
+        self.border_expansions += other.border_expansions
+        self.fanout += other.fanout
+        self.replicated_obstacles += other.replicated_obstacles
+        self.merges_built += other.merges_built
+        self.merge_reuses += other.merge_reuses
+        self.rehomes += other.rehomes
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if not self.queries:
+            return "no sharded queries yet"
+        busiest = ", ".join(
+            f"s{sid}:{n}" for sid, n in sorted(self.by_shard.items()))
+        return (f"{self.queries} queries, fan-out {self.fanout_ratio:.2f}, "
+                f"{self.border_expansions} border expansions, "
+                f"{self.replicated_obstacles} replicated obstacles "
+                f"[{busiest}]")

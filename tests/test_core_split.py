@@ -31,8 +31,13 @@ class TestDistQuadratic:
         q = Segment(0, 0, 100, 0)
         b, c = dist_quadratic(q, px, py)
         want = q.point_at(t).dist((px, py))
-        got = math.sqrt(max(t * t + b * t + c, 0.0))
-        assert math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-9)
+        got_sq = t * t + b * t + c
+        # Compare squared distances: near the segment the three quadratic
+        # terms cancel almost exactly, so the achievable absolute error is
+        # a few ulps of the *term magnitudes*, not of the tiny residual.
+        scale = t * t + abs(b) * t + abs(c) + 1.0
+        assert math.isclose(got_sq, want * want,
+                            rel_tol=1e-9, abs_tol=1e-12 * scale)
 
     def test_oblique_segment(self):
         q = Segment(1, 2, 4, 6)  # length 5

@@ -1,0 +1,146 @@
+"""Partitioners: total ownership, clamping, balance, rect fan-out."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.shard.partition import (
+    GridPartitioner,
+    HilbertPartitioner,
+    _factor_pair,
+    bounds_of,
+)
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+class TestFactorPair:
+    def test_most_square(self):
+        assert _factor_pair(1) == (1, 1)
+        assert _factor_pair(2) == (2, 1)
+        assert _factor_pair(4) == (2, 2)
+        assert _factor_pair(6) == (3, 2)
+        assert _factor_pair(9) == (3, 3)
+        assert _factor_pair(12) == (4, 3)
+
+    def test_prime_degenerates_to_strip(self):
+        assert _factor_pair(7) == (7, 1)
+
+
+class TestGridPartitioner:
+    def test_square_shapes(self):
+        assert GridPartitioner.square(BOUNDS, 2).num_shards == 2
+        g = GridPartitioner.square(BOUNDS, 9)
+        assert (g.nx, g.ny) == (3, 3)
+
+    def test_every_point_has_exactly_one_owner(self):
+        g = GridPartitioner.square(BOUNDS, 4)
+        rng = random.Random(3)
+        for _ in range(200):
+            x, y = rng.uniform(-50, 150), rng.uniform(-50, 150)
+            sid = g.shard_of(x, y)
+            assert 0 <= sid < 4
+
+    def test_row_major_ids(self):
+        g = GridPartitioner(BOUNDS, 2, 2)
+        assert g.shard_of(25, 25) == 0
+        assert g.shard_of(75, 25) == 1
+        assert g.shard_of(25, 75) == 2
+        assert g.shard_of(75, 75) == 3
+
+    def test_outside_points_clamp_to_edge_shards(self):
+        g = GridPartitioner(BOUNDS, 2, 2)
+        assert g.shard_of(-1000, -1000) == 0
+        assert g.shard_of(1000, 1000) == 3
+        assert g.shard_of(-math.inf, 50.0001) == 2
+        assert g.shard_of(math.inf, 49.9999) == 1
+
+    def test_rect_fanout(self):
+        g = GridPartitioner(BOUNDS, 2, 2)
+        assert g.shards_for_rect(Rect(10, 10, 20, 20)) == {0}
+        assert g.shards_for_rect(Rect(40, 10, 60, 20)) == {0, 1}
+        assert g.shards_for_rect(Rect(40, 40, 60, 60)) == {0, 1, 2, 3}
+        huge = Rect(-1e9, -1e9, 1e9, 1e9)
+        assert g.shards_for_rect(huge) == g.all_shards()
+
+    def test_region_tiles_bounds(self):
+        g = GridPartitioner(BOUNDS, 3, 3)
+        area = sum(g.region(s).area() for s in range(9))
+        assert area == pytest.approx(BOUNDS.area())
+        with pytest.raises(ValueError):
+            g.region(9)
+
+    def test_region_owns_its_interior(self):
+        g = GridPartitioner(BOUNDS, 3, 2)
+        for sid in range(g.num_shards):
+            r = g.region(sid)
+            cx, cy = (r.xlo + r.xhi) / 2, (r.ylo + r.yhi) / 2
+            assert g.shard_of(cx, cy) == sid
+
+    def test_degenerate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            GridPartitioner(Rect(0, 0, 0, 10), 2, 2)
+        with pytest.raises(ValueError):
+            GridPartitioner(BOUNDS, 0, 2)
+
+
+class TestHilbertPartitioner:
+    def test_every_point_owned_and_every_shard_nonempty(self):
+        h = HilbertPartitioner(BOUNDS, 5, order=3)
+        seen = set()
+        for x in range(0, 100, 3):
+            for y in range(0, 100, 3):
+                sid = h.shard_of(x + 0.5, y + 0.5)
+                assert 0 <= sid < 5
+                seen.add(sid)
+        assert seen == set(range(5))
+
+    def test_site_weighting_shrinks_dense_shards(self):
+        rng = random.Random(11)
+        # Pile most sites into the lower-left quadrant.
+        sites = [(rng.uniform(0, 25), rng.uniform(0, 25)) for _ in range(300)]
+        sites += [(rng.uniform(0, 100), rng.uniform(0, 100))
+                  for _ in range(30)]
+        h = HilbertPartitioner(BOUNDS, 4, sites=sites, order=4)
+        counts = [0, 0, 0, 0]
+        for x, y in sites:
+            counts[h.shard_of(x, y)] += 1
+        # Balanced cut: no shard hoards the workload.
+        assert max(counts) < 0.65 * len(sites)
+
+    def test_rect_fanout_covers_owner(self):
+        h = HilbertPartitioner(BOUNDS, 4, order=4)
+        rng = random.Random(5)
+        for _ in range(100):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            r = Rect(x, y, x + rng.uniform(0, 30), y + rng.uniform(0, 30))
+            fan = h.shards_for_rect(r)
+            assert h.shard_of(x, y) in fan
+            assert h.shard_of(r.xhi, r.yhi) in fan
+
+    def test_too_many_shards_for_grid(self):
+        with pytest.raises(ValueError):
+            HilbertPartitioner(BOUNDS, 5, order=1)
+
+    def test_describe_mentions_cells(self):
+        h = HilbertPartitioner(BOUNDS, 2, order=2)
+        assert "4x4" in h.describe()
+
+
+class TestBoundsOf:
+    def test_covers_points_and_rects(self):
+        b = bounds_of([(0, 0), (10, 5)], [Rect(-2, 1, 3, 8)])
+        assert b.xlo <= -2 and b.xhi >= 10
+        assert b.ylo <= 0 and b.yhi >= 8
+
+    def test_empty_inputs_get_unit_square(self):
+        b = bounds_of([])
+        assert b.is_valid() and b.area() > 0
+
+    def test_degenerate_extents_padded(self):
+        b = bounds_of([(5, 5), (5, 9)])
+        assert b.width > 0 and b.height > 0
