@@ -1,10 +1,12 @@
 """Machine-readable benchmark emission (the perf-trajectory artifact).
 
 Every benchmark that participates in the performance trajectory merges one
-section into a single JSON file (default ``BENCH_PR7.json`` at the
-repository root, override with ``--json`` or the ``BENCH_JSON`` environment
-variable).  CI uploads the file as a build artifact, so speedups are
-diffable across PRs instead of living in log scrollback.
+section into a single JSON file, override with ``--emit`` (``--json`` is
+kept as an alias) or the ``BENCH_JSON`` environment variable; the default
+file name lives in :data:`DEFAULT_FILE` so a new PR bumps exactly one
+constant instead of every benchmark patching its own.  CI uploads the file
+as a build artifact, so speedups are diffable across PRs instead of living
+in log scrollback.
 
 Host metadata — including the git revision when one is resolvable — rides
 along with every section; emission never fails because the benchmark ran
@@ -21,7 +23,22 @@ import time
 from pathlib import Path
 from typing import Any, Dict
 
-DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+DEFAULT_FILE = "BENCH_PR8.json"
+"""Current trajectory artifact name (bumped once per PR, here only)."""
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / DEFAULT_FILE
+
+
+def add_emit_argument(parser) -> None:
+    """Install the shared emission flag on a benchmark's argument parser.
+
+    ``--emit`` names the benchmark JSON file; ``--json`` stays as a
+    backwards-compatible alias.  Leaving it unset falls back to the
+    ``BENCH_JSON`` environment variable and then :data:`DEFAULT_PATH`.
+    """
+    parser.add_argument(
+        "--emit", "--json", dest="emit", default=None,
+        help=f"benchmark JSON path (default $BENCH_JSON or {DEFAULT_FILE})")
 
 
 def _git_rev() -> "str | None":

@@ -37,12 +37,13 @@ from typing import List, Sequence
 
 import numpy as np
 
-from _emit import emit
+from _emit import add_emit_argument, emit
 
 from repro import (
     ConnQuery,
     PlannerOptions,
     RectObstacle,
+    RoutingConfig,
     Segment,
     Workspace,
 )
@@ -124,15 +125,20 @@ def backend_row(label: str, ws: Workspace, wall: float, reads: int) -> dict:
         "replays": stats.dijkstra_replays,
         "settled": stats.nodes_settled,
         "vtests": stats.visibility_tests,
+        "batch_calls": stats.batch_visibility_calls,
+        "batched_edges": stats.batched_edges_tested,
+        "array_traversals": stats.array_traversals,
         "reads": reads,
         "wall_s": wall,
     }
 
 
-def run_repeated(args, backend: str) -> dict:
+def run_repeated(args, backend: str, engine: str = "array",
+                 label: str = "") -> dict:
     points, obstacles = build_scene(args)
     ws = Workspace.from_points(points, obstacles, page_size=args.page_size,
-                               planner=PlannerOptions(backend=backend))
+                               planner=PlannerOptions(backend=backend),
+                               routing=RoutingConfig(engine=engine))
     queries = corridor_queries(args)
     ws.execute(queries[0])  # warm the cache; not part of the measured run
     snap = ws.obstacle_tree.tracker.stats.snapshot()
@@ -142,6 +148,8 @@ def run_repeated(args, backend: str) -> dict:
     reads = ws.obstacle_tree.tracker.stats.delta(snap).logical_reads
     row = backend_row("shared" if backend == "shared" else "per-query",
                       ws, wall, reads)
+    if label:
+        row["label"] = label
     row["answers"] = snapshot(results)
     return row
 
@@ -210,8 +218,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--updates", type=int, default=10)
     parser.add_argument("--page-size", type=int, default=256)
     parser.add_argument("--seed", type=int, default=11)
-    parser.add_argument("--json", default=None,
-                        help="benchmark JSON path (default BENCH_PR7.json)")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="fail unless the array engine beats the scalar "
+                             "engine by at least this factor on the warm "
+                             "corridor (CI smoke guard)")
+    parser.add_argument("--engine-repeats", type=int, default=1,
+                        help="interleaved repetitions of the engine arms; "
+                             "the best wall per arm is reported")
+    add_emit_argument(parser)
     args = parser.parse_args(argv)
 
     failures = []
@@ -229,6 +243,31 @@ def main(argv: Sequence[str] | None = None) -> int:
     if per["builds"] < args.queries:
         failures.append("per-query backend did not build per query "
                         f"({per['builds']} < {args.queries})")
+
+    # Interleaved best-of-N: alternating the arms keeps a machine-load
+    # drift from landing entirely on one engine and skewing the ratio.
+    array_arm = scalar_arm = None
+    for _ in range(max(1, args.engine_repeats)):
+        a = run_repeated(args, "shared", engine="array", label="array")
+        s = run_repeated(args, "shared", engine="scalar", label="scalar")
+        if array_arm is None or a["wall_s"] < array_arm["wall_s"]:
+            array_arm = a
+        if scalar_arm is None or s["wall_s"] < scalar_arm["wall_s"]:
+            scalar_arm = s
+    print_table(f"Engine arms — shared backend, {args.queries} warm CONN "
+                f"queries, array vs scalar substrate",
+                (array_arm, scalar_arm))
+    speedup = (scalar_arm["wall_s"] / array_arm["wall_s"]
+               if array_arm["wall_s"] > 0 else float("inf"))
+    print(f"\n  array engine speedup over scalar oracle: {speedup:.2f}x "
+          f"({array_arm['batch_calls']} batched kernel calls, "
+          f"{array_arm['batched_edges']} edges tested in batch)")
+    if not answers_agree(array_arm["answers"], scalar_arm["answers"]):
+        failures.append("engine arms disagree: array vs scalar answers")
+    if args.require_speedup is not None and speedup < args.require_speedup:
+        failures.append(
+            f"array engine speedup {speedup:.2f}x below required "
+            f"{args.require_speedup:.2f}x")
 
     s_storm = run_storm(args, "shared")
     p_storm = run_storm(args, "per-query")
@@ -253,8 +292,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "repeated_query": {"shared": strip(shared), "per_query": strip(per)},
         "monitor_storm": {"shared": strip(s_storm),
                           "per_query": strip(p_storm)},
+        "engines": {"array": strip(array_arm), "scalar": strip(scalar_arm),
+                    "speedup": speedup},
         "identical_results": not failures,
-    }, path=args.json)
+    }, path=args.emit)
 
     if failures:
         for f in failures:

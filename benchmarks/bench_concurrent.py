@@ -17,8 +17,8 @@ The guard asserts **byte-identical result tuples** across all arms —
 parallelism must change wall clock only — and, when the host has the
 cores for it (or ``--require-speedup`` insists), that fork-mode
 throughput reaches the configured multiple of serial at the configured
-worker count.  Results are emitted to ``BENCH_PR5.json`` (pinned by CI) for the
-artifact trail.
+worker count.  Results are emitted to the shared benchmark JSON (see
+:mod:`_emit`) for the artifact trail.
 
 Run from the repository root::
 
@@ -36,7 +36,7 @@ import sys
 import time
 from typing import List, Sequence
 
-from _emit import emit
+from _emit import add_emit_argument, emit
 
 from repro import (
     CoknnQuery,
@@ -129,8 +129,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="fail unless fork-mode throughput reaches this "
                              "multiple of serial (skipped with a warning "
                              "when the host lacks the cores)")
-    parser.add_argument("--json", default=None,
-                        help="benchmark JSON path (default BENCH_PR7.json)")
+    add_emit_argument(parser)
     args = parser.parse_args(argv)
 
     points, obstacles = build_scene(args)
@@ -197,7 +196,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serial_wall_s": serial_wall,
         "fork_speedup": fork_speedup,
         "identical_results": not failures,
-    }, path=args.json)
+    }, path=args.emit)
 
     if failures:
         for f in failures:

@@ -18,8 +18,10 @@ Two guards:
   warning when the host lacks the cores for headroom).
 
 Results — QPS per shard count plus the router's :class:`ShardStats`
-(cross-shard fan-out ratio, border expansions, replicated obstacles) —
-are emitted to ``BENCH_PR7.json`` for the artifact trail.
+(cross-shard fan-out ratio, border expansions, replicated obstacles)
+and a per-arm time breakdown (first-execution routing vs
+border-expansion re-execution vs merged-environment building) — are
+emitted to the shared benchmark JSON (see :mod:`_emit`).
 
 Run from the repository root::
 
@@ -37,7 +39,7 @@ import sys
 import time
 from typing import List, Sequence
 
-from _emit import emit
+from _emit import add_emit_argument, emit
 
 from repro import (
     CoknnQuery,
@@ -102,7 +104,15 @@ def run_arm(sws: ShardedWorkspace, queries, workers: int, mode: str):
     started = time.perf_counter()
     results = sws.execute_many(queries, workers=workers, mode=mode)
     wall = time.perf_counter() - started
-    return wall, result_rows(results)
+    # Per-query ShardStats blocks ride back on the results even in fork
+    # mode, so the breakdown survives worker-process boundaries.
+    breakdown = {
+        "route_s": sum(r.stats.shard.route_time_s for r in results),
+        "reexec_s": sum(r.stats.shard.reexec_time_s for r in results),
+        "merge_build_s": sum(r.stats.shard.merge_build_time_s
+                             for r in results),
+    }
+    return wall, result_rows(results), breakdown
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -130,8 +140,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="fail unless the widest arm's QPS reaches this "
                              "multiple of the single-shard arm (skipped "
                              "when the host lacks the cores)")
-    parser.add_argument("--json", default=None,
-                        help="benchmark JSON path (default BENCH_PR7.json)")
+    add_emit_argument(parser)
     args = parser.parse_args(argv)
 
     mode = args.mode or ("fork" if hasattr(os, "fork") else "thread")
@@ -148,7 +157,8 @@ def main(argv: Sequence[str] | None = None) -> int:
           f"{len(obstacles)} obstacles), {workers} {mode} worker(s), "
           f"host cpus: {os.cpu_count()}")
     print(f"  {'shards':>6}  {'wall s':>8}  {'qps':>8}  {'speedup':>8}  "
-          f"{'fan-out':>7}  {'expand':>6}  {'repl':>5}")
+          f"{'fan-out':>7}  {'expand':>6}  {'repl':>5}  "
+          f"{'route s':>8}  {'reexec s':>8}  {'merge s':>8}")
 
     arms: dict = {}
     failures: List[str] = []
@@ -156,11 +166,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         sws = ShardedWorkspace.from_points(
             points, obstacles, shards=count, page_size=args.page_size)
         sws.prefetch_all()
-        best_wall, rows = None, None
+        best_wall, rows, breakdown = None, None, None
         for _ in range(max(1, args.repeats)):
-            wall, got = run_arm(sws, queries, workers, mode)
+            wall, got, parts = run_arm(sws, queries, workers, mode)
             if best_wall is None or wall < best_wall:
-                best_wall, rows = wall, got
+                best_wall, rows, breakdown = wall, got, parts
         if rows != baseline:
             failures.append(f"{count}-shard arm diverged from the "
                             "unsharded workspace")
@@ -173,6 +183,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             "border_expansions": stats.border_expansions,
             "replicated_obstacles": stats.replicated_obstacles,
             "identical": rows == baseline,
+            **breakdown,
         }
 
     base_qps = arms[str(shard_counts[0])]["qps"]
@@ -182,7 +193,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"  {count:>6}  {row['wall_s']:>8.3f}  {row['qps']:>8.1f}  "
               f"{row['speedup']:>7.2f}x  {row['fanout_ratio']:>7.2f}  "
               f"{row['border_expansions']:>6}  "
-              f"{row['replicated_obstacles']:>5}")
+              f"{row['replicated_obstacles']:>5}  "
+              f"{row['route_s']:>8.3f}  {row['reexec_s']:>8.3f}  "
+              f"{row['merge_build_s']:>8.3f}")
 
     widest = arms[str(shard_counts[-1])]
     if args.require_scaling > 0:
@@ -208,7 +221,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "workers": workers,
         "arms": arms,
         "identical_results": identical,
-    }, path=args.json)
+    }, path=args.emit)
 
     if args.require_identical and not identical:
         failures.append("sharded answers diverged (see per-arm flags)")

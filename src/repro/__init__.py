@@ -85,8 +85,11 @@ from .monitor import (
 )
 from .routing import (
     BackendStats,
+    DEFAULT_ROUTING,
     ObstructedDistanceBackend,
     PerQueryVGBackend,
+    RoutingConfig,
+    SCALAR_ROUTING,
     SharedVGBackend,
     VGSession,
 )
@@ -131,6 +134,9 @@ __all__ = [
     "AddObstacle",
     "AddSite",
     "BackendStats",
+    "DEFAULT_ROUTING",
+    "RoutingConfig",
+    "SCALAR_ROUTING",
     "CacheReadView",
     "CacheStats",
     "Capsule",

@@ -29,8 +29,22 @@ class ConnConfig:
             (see ``tests/test_core_cplc.py::TestLemma6Finding``).  Enable for
             paper-faithful ablation runs.
         use_lemma7: cut CPLC's graph traversal at CPLMAX (Lemma 7).
+        use_euclid_prefilter: inside CPLC, skip a node entirely when its
+            Euclidean lower bound ``dist_v + dist(v, q)`` already reaches
+            CPLMAX.  Exact: the incumbent envelope is <= CPLMAX everywhere
+            (piece convexity puts each piece's maximum at an endpoint) while
+            the challenger is >= the bound everywhere, and ties keep the
+            incumbent — so the skipped merge could never change the result.
         use_rlmax: terminate the data scan once the next candidate's mindist
             exceeds RLMAX (Lemma 2).
+        use_global_bound: extend Lemma 2's RLMAX from the data scan into
+            each point's evaluation: IOR's Dijkstra is cut off at the
+            current RLMAX, CPLC's traversal breaks there, and nodes whose
+            Euclidean lower bound reaches it are skipped.  Exact: a claimed
+            path of length L < RLMAX ends on ``q``, so every obstacle that
+            could invalidate it lies within RLMAX of ``q`` and is covered
+            by retrieval; claims >= RLMAX lose (or tie, keeping the
+            incumbent) at every envelope level.
         validate_coverage: after CPLC, extend obstacle retrieval to the
             maximum claimed distance and recompute until stable (this
             library's strengthening of IOR; see DESIGN.md).
@@ -40,7 +54,9 @@ class ConnConfig:
     use_lemma5: bool = True
     use_lemma6: bool = False
     use_lemma7: bool = True
+    use_euclid_prefilter: bool = True
     use_rlmax: bool = True
+    use_global_bound: bool = True
     validate_coverage: bool = True
 
     @classmethod
@@ -52,7 +68,8 @@ class ConnConfig:
     def no_pruning(cls) -> "ConnConfig":
         """All optional pruning off (correctness baseline / ablation anchor)."""
         return cls(use_lemma1=False, use_lemma5=False, use_lemma6=False,
-                   use_lemma7=False, use_rlmax=False)
+                   use_lemma7=False, use_euclid_prefilter=False,
+                   use_rlmax=False, use_global_bound=False)
 
 
 DEFAULT_CONFIG = ConnConfig()

@@ -18,10 +18,16 @@ paper's three optimizations, each independently switchable:
   ``u`` and the hole endpoints.
 * **Lemma 7** — the traversal stops once ``||p, v|| >= CPLMAX``, the largest
   distance the current list already guarantees.
+
+On top of the paper's rules this reproduction adds an exact *Euclidean
+prefilter* (``use_euclid_prefilter``): a node whose straight-line lower
+bound ``||p, v||_O + dist(v, q)`` already reaches CPLMAX cannot improve the
+envelope anywhere, so its visible region and merge are skipped entirely.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 from ..geometry.interval import IntervalSet
@@ -34,7 +40,10 @@ from .stats import QueryStats
 
 def compute_cpl(vg: ObstructedGraph, point_node: int, owner: Any,
                 cfg: ConnConfig = DEFAULT_CONFIG,
-                stats: QueryStats | None = None) -> PiecewiseDistance:
+                stats: QueryStats | None = None,
+                bound: float = math.inf,
+                global_env: PiecewiseDistance | None = None
+                ) -> PiecewiseDistance:
     """The control point list of ``point_node``'s point over the query segment.
 
     Args:
@@ -42,6 +51,14 @@ def compute_cpl(vg: ObstructedGraph, point_node: int, owner: Any,
             already covering the point's search range.
         point_node: transient graph node of the data point.
         owner: payload to stamp on every piece (the data point itself).
+        bound: the engine's global result bound (generalized RLMAX).
+            Contributions at or above it lose — or tie, which keeps the
+            incumbent — at every level of the engine's k-envelope, so the
+            traversal breaks there and dominated nodes are skipped.  The
+            returned CPL is then only trustworthy *below* the bound, which
+            is exactly the part that can reach the result.
+        global_env: the k-th (worst) level of the engine's envelope, for
+            the piecewise regional form of the same pruning.
 
     Returns:
         A :class:`PiecewiseDistance` partitioning ``q``; pieces with
@@ -51,11 +68,38 @@ def compute_cpl(vg: ObstructedGraph, point_node: int, owner: Any,
     qseg = vg.qseg
     cpl = PiecewiseDistance.unknown(qseg, owner)
     cplmax = cpl.max_endpoint_value()
-    for dist_v, v, pred in vg.dijkstra_order(point_node):
+    prefilter = cfg.use_euclid_prefilter
+    use_bound = bound < math.inf
+    for dist_v, v, pred in vg.dijkstra_order(point_node, bound):
         if cfg.use_lemma7 and dist_v >= cplmax:
             stats.lemma7_cutoffs += 1
             break
+        if use_bound and dist_v >= bound:
+            # No later node can contribute below the global bound either
+            # (Dijkstra order is non-decreasing), so the whole remaining
+            # traversal is irrelevant to the result.
+            stats.global_bound_cutoffs += 1
+            break
         stats.nodes_expanded += 1
+        vx, vy = vg.node_point(v)
+        lb = None
+        if prefilter and cplmax < math.inf:
+            lb = dist_v + qseg.dist_point(vx, vy)
+            if lb >= cplmax:
+                # Euclidean lower bound: every value ``v`` could contribute
+                # is >= dist_v + dist(v, q(t)), while the incumbent is
+                # <= CPLMAX everywhere (each piece is convex with its
+                # maximum at an endpoint).  Ties keep the incumbent, so the
+                # merge is provably a no-op — skip the visible-region and
+                # envelope work outright.
+                stats.prefilter_skips += 1
+                continue
+        if use_bound:
+            if lb is None:
+                lb = dist_v + qseg.dist_point(vx, vy)
+            if lb >= bound:
+                stats.global_bound_cutoffs += 1
+                continue
         region = vg.visible_region_of(v)
         if cfg.use_lemma5 and pred is not None:
             vr_pred = vg.visible_region_of(pred)
@@ -65,7 +109,25 @@ def compute_cpl(vg: ObstructedGraph, point_node: int, owner: Any,
                                         stats)
         if region.is_empty():
             continue
-        vx, vy = vg.node_point(v)
+        if global_env is not None and \
+                global_env.dominates_challenger(region, (vx, vy), dist_v):
+            # Regional form of the global bound: a contribution whose
+            # Euclidean lower bound cannot beat the engine's current k-th
+            # best anywhere on its region can never surface in any result
+            # level.  Checked before the point's own envelope because the
+            # mature cross-point incumbent dominates far more often.
+            stats.global_bound_cutoffs += 1
+            continue
+        if prefilter and cpl.dominates_challenger(region, (vx, vy), dist_v):
+            # Piecewise regional bound: the challenger is only finite on its
+            # visible region, and comparing its Euclidean lower bound
+            # against the incumbent piece by piece over that region often
+            # proves the merge a no-op after Lemma 5 shrank the region.
+            # (Unlike the CPLMAX gate above this works even while parts of
+            # the envelope are still unknown: the check itself refuses to
+            # skip wherever the region overlaps an unknown piece.)
+            stats.prefilter_skips += 1
+            continue
         challenger = PiecewiseDistance.from_region(qseg, region, (vx, vy),
                                                    dist_v, owner)
         cpl, _loser, changed = cpl.merge_min(challenger, cfg, stats)

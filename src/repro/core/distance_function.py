@@ -20,12 +20,12 @@ k-level envelope cascade losers downward (Section 4.5).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..geometry.interval import MERGE_EPS, IntervalSet
+from ..geometry.predicates import point_seg_dist
 from ..geometry.segment import Segment
 from .config import DEFAULT_CONFIG, ConnConfig
 from .split import crossing_params, perpendicular_distance
@@ -35,9 +35,11 @@ _TIE_EPS = 1e-9
 """Value difference below which two paths are considered tied."""
 
 
-@dataclass(frozen=True)
-class Piece:
+class Piece(NamedTuple):
     """One interval of a piecewise distance function.
+
+    A NamedTuple rather than a dataclass: merges allocate millions of these
+    on large workloads and tuple construction is several times cheaper.
 
     Attributes:
         lo, hi: arc-length parameter range on the query segment.
@@ -56,17 +58,47 @@ class Piece:
     def value_at(self, qseg: Segment, t: float) -> float:
         if self.cp is None:
             return math.inf
-        pt = qseg.point_at(t)
-        return self.base + math.hypot(pt.x - self.cp[0], pt.y - self.cp[1])
+        return _piece_value(qseg, qseg.length, self.cp, self.base, t)
 
     def max_value(self, qseg: Segment) -> float:
         """Maximum over the piece = max of the endpoint values (convexity)."""
         if self.cp is None:
             return math.inf
-        return max(self.value_at(qseg, self.lo), self.value_at(qseg, self.hi))
+        ln = qseg.length
+        return max(_piece_value(qseg, ln, self.cp, self.base, self.lo),
+                   _piece_value(qseg, ln, self.cp, self.base, self.hi))
 
     def clipped(self, lo: float, hi: float) -> "Piece":
         return Piece(lo, hi, self.cp, self.base, self.owner)
+
+
+def _q_point(qseg: Segment, ln: float, t: float) -> Tuple[float, float]:
+    """``q(t)`` replicating ``Segment.point_at`` bit-exactly.
+
+    The float operations mirror :meth:`Segment.point_at` operation for
+    operation (clamp, divide, lerp) so coordinates are identical to the
+    historic ``qseg.point_at(t)`` path while skipping the Point allocation
+    and the per-call ``length`` recomputation (callers hoist ``ln`` once).
+    """
+    if ln == 0.0:
+        return qseg.ax, qseg.ay
+    f = min(max(t, 0.0), ln) / ln
+    return (qseg.ax + f * (qseg.bx - qseg.ax),
+            qseg.ay + f * (qseg.by - qseg.ay))
+
+
+def _piece_value(qseg: Segment, ln: float, cp: Tuple[float, float],
+                 base: float, t: float) -> float:
+    """``base + dist(cp, q(t))`` with a pre-hoisted segment length."""
+    x, y = _q_point(qseg, ln, t)
+    return base + math.hypot(x - cp[0], y - cp[1])
+
+
+def _clip(p: Piece, lo: float, hi: float) -> Piece:
+    """``p.clipped(lo, hi)`` without allocating when the range is unchanged."""
+    if lo == p.lo and hi == p.hi:
+        return p
+    return Piece(lo, hi, p.cp, p.base, p.owner)
 
 
 def _same_function(a: Piece, b: Piece) -> bool:
@@ -84,12 +116,18 @@ def _append(pieces: List[Piece], piece: Piece) -> None:
     """Append with coalescing of adjacent pieces of the same function."""
     if piece.hi - piece.lo <= MERGE_EPS:
         return
-    if pieces and _same_function(pieces[-1], piece) and \
-            piece.lo <= pieces[-1].hi + MERGE_EPS:
-        pieces[-1] = Piece(pieces[-1].lo, piece.hi, piece.cp, piece.base,
-                           piece.owner)
-    else:
-        pieces.append(piece)
+    if pieces:
+        last = pieces[-1]
+        # Identity pre-check: clips share their parent's cp/owner objects,
+        # so most coalesces are decided without the tolerance comparisons.
+        if piece.lo <= last.hi + MERGE_EPS and (
+                (piece.cp is last.cp and piece.base == last.base and
+                 (piece.owner is last.owner or piece.owner == last.owner))
+                or _same_function(last, piece)):
+            pieces[-1] = Piece(last.lo, piece.hi, piece.cp, piece.base,
+                               piece.owner)
+            return
+    pieces.append(piece)
 
 
 class PiecewiseDistance:
@@ -182,13 +220,61 @@ class PiecewiseDistance:
         ``p_i = emptyset  =>  RLMAX = inf`` convention).
         """
         worst = 0.0
+        qseg = self.qseg
+        ln = qseg.length
         for p in self.pieces:
-            v = p.max_value(self.qseg)
+            if p.cp is None:
+                return math.inf
+            v = max(_piece_value(qseg, ln, p.cp, p.base, p.lo),
+                    _piece_value(qseg, ln, p.cp, p.base, p.hi))
             if v > worst:
                 worst = v
-                if math.isinf(worst):
-                    break
         return worst
+
+    def dominates_challenger(self, region, cp: Tuple[float, float],
+                             base: float) -> bool:
+        """Would merging ``base + dist(cp, .)`` over ``region`` be a no-op?
+
+        Exact piecewise test used by CPLC to skip provably-losing merges:
+        for each of this envelope's pieces overlapping ``region``, the
+        challenger's lower bound (``base`` plus the Euclidean distance from
+        ``cp`` to the overlapped sub-segment of ``q``) is compared against
+        the piece's maximum over the overlap (at an overlap endpoint, by
+        convexity).  When the bound never goes below the incumbent, ties
+        keep the incumbent and :meth:`merge_min` would return ``changed ==
+        False`` with an identical winner — so the caller can skip it.
+        Returns False conservatively whenever any overlap is inconclusive.
+        """
+        qseg = self.qseg
+        ln = qseg.length
+        pieces = self.pieces
+        n = len(pieces)
+        cx, cy = cp
+        i = 0
+        for rlo, rhi in region:
+            rlo = max(rlo, 0.0)
+            rhi = min(rhi, ln)
+            if rhi < rlo:
+                continue
+            while i < n and pieces[i].hi <= rlo:
+                i += 1
+            j = i
+            while j < n and pieces[j].lo < rhi:
+                p = pieces[j]
+                if p.cp is None:
+                    return False
+                a = p.lo if p.lo > rlo else rlo
+                b = p.hi if p.hi < rhi else rhi
+                if b >= a:
+                    x0, y0 = _q_point(qseg, ln, a)
+                    x1, y1 = _q_point(qseg, ln, b)
+                    lb = base + point_seg_dist(cx, cy, x0, y0, x1, y1)
+                    inc = max(_piece_value(qseg, ln, p.cp, p.base, a),
+                              _piece_value(qseg, ln, p.cp, p.base, b))
+                    if lb < inc:
+                        return False
+                j += 1
+        return True
 
     def all_unknown(self) -> bool:
         return all(p.cp is None for p in self.pieces)
@@ -289,6 +375,7 @@ class PiecewiseDistance:
             the challenger won anywhere.  Ties keep the incumbent.
         """
         qseg = self.qseg
+        ln = qseg.length
         stats = stats if stats is not None else QueryStats()
         win: List[Piece] = []
         lose: List[Piece] = []
@@ -302,9 +389,20 @@ class PiecewiseDistance:
             pb = B[ib]
             nxt = min(pa.hi, pb.hi)
             if nxt - cursor > MERGE_EPS:
-                challenger_won = self._resolve(pa, pb, cursor, nxt, win, lose,
-                                               cfg, stats)
-                changed = changed or challenger_won
+                # Unknown sides short-circuit here: challengers are typically
+                # finite on a few intervals only, and copying the incumbent
+                # over the unknown spans is the merge's bulk.
+                if pb.cp is None:
+                    _append(win, _clip(pa, cursor, nxt))
+                    _append(lose, _clip(pb, cursor, nxt))
+                elif pa.cp is None:
+                    _append(win, _clip(pb, cursor, nxt))
+                    _append(lose, _clip(pa, cursor, nxt))
+                    changed = True
+                else:
+                    challenger_won = self._resolve(pa, pb, cursor, nxt, ln,
+                                                   win, lose, cfg, stats)
+                    changed = changed or challenger_won
             cursor = nxt
             if pa.hi <= nxt + MERGE_EPS:
                 ia += 1
@@ -313,65 +411,73 @@ class PiecewiseDistance:
         return (PiecewiseDistance(qseg, win), PiecewiseDistance(qseg, lose),
                 changed)
 
-    def _resolve(self, pa: Piece, pb: Piece, lo: float, hi: float,
+    def _resolve(self, pa: Piece, pb: Piece, lo: float, hi: float, ln: float,
                  win: List[Piece], lose: List[Piece],
                  cfg: ConnConfig, stats: QueryStats) -> bool:
         """Resolve one overlap interval; returns True when challenger won any part."""
         qseg = self.qseg
-        if pb.cp is None:
-            _append(win, pa.clipped(lo, hi))
-            _append(lose, pb.clipped(lo, hi))
+        a_cp = pa.cp
+        b_cp = pb.cp
+        if b_cp is None:
+            _append(win, _clip(pa, lo, hi))
+            _append(lose, _clip(pb, lo, hi))
             return False
-        if pa.cp is None:
-            _append(win, pb.clipped(lo, hi))
-            _append(lose, pa.clipped(lo, hi))
+        if a_cp is None:
+            _append(win, _clip(pb, lo, hi))
+            _append(lose, _clip(pa, lo, hi))
             return True
         # Identical control points: the smaller base wins outright.
-        if (abs(pa.cp[0] - pb.cp[0]) <= _TIE_EPS and
-                abs(pa.cp[1] - pb.cp[1]) <= _TIE_EPS):
+        if (abs(a_cp[0] - b_cp[0]) <= _TIE_EPS and
+                abs(a_cp[1] - b_cp[1]) <= _TIE_EPS):
             if pb.base < pa.base - _TIE_EPS:
-                _append(win, pb.clipped(lo, hi))
-                _append(lose, pa.clipped(lo, hi))
+                _append(win, _clip(pb, lo, hi))
+                _append(lose, _clip(pa, lo, hi))
                 return True
-            _append(win, pa.clipped(lo, hi))
-            _append(lose, pb.clipped(lo, hi))
+            _append(win, _clip(pa, lo, hi))
+            _append(lose, _clip(pb, lo, hi))
             return False
 
-        va_lo = pa.value_at(qseg, lo)
-        va_hi = pa.value_at(qseg, hi)
-        vb_lo = pb.value_at(qseg, lo)
-        vb_hi = pb.value_at(qseg, hi)
+        a_base = pa.base
+        b_base = pb.base
+        xlo, ylo = _q_point(qseg, ln, lo)
+        xhi, yhi = _q_point(qseg, ln, hi)
+        va_lo = a_base + math.hypot(xlo - a_cp[0], ylo - a_cp[1])
+        va_hi = a_base + math.hypot(xhi - a_cp[0], yhi - a_cp[1])
+        vb_lo = b_base + math.hypot(xlo - b_cp[0], ylo - b_cp[1])
+        vb_hi = b_base + math.hypot(xhi - b_cp[0], yhi - b_cp[1])
         if cfg.use_lemma1:
             # Lemma 1: endpoint dominance plus the farther-control-point
             # condition proves dominance over the whole interval.
-            h_a = perpendicular_distance(qseg, pa.cp[0], pa.cp[1])
-            h_b = perpendicular_distance(qseg, pb.cp[0], pb.cp[1])
+            h_a = perpendicular_distance(qseg, a_cp[0], a_cp[1])
+            h_b = perpendicular_distance(qseg, b_cp[0], b_cp[1])
             if va_lo <= vb_lo + _TIE_EPS and va_hi <= vb_hi + _TIE_EPS and \
                     h_b >= h_a:
                 stats.lemma1_prunes += 1
-                _append(win, pa.clipped(lo, hi))
-                _append(lose, pb.clipped(lo, hi))
+                _append(win, _clip(pa, lo, hi))
+                _append(lose, _clip(pb, lo, hi))
                 return False
             if vb_lo < va_lo - _TIE_EPS and vb_hi < va_hi - _TIE_EPS and \
                     h_a >= h_b:
                 stats.lemma1_prunes += 1
-                _append(win, pb.clipped(lo, hi))
-                _append(lose, pa.clipped(lo, hi))
+                _append(win, _clip(pb, lo, hi))
+                _append(lose, _clip(pa, lo, hi))
                 return True
 
         stats.split_solves += 1
-        roots = crossing_params(qseg, pb.cp, pb.base, pa.cp, pa.base, lo, hi)
+        roots = crossing_params(qseg, b_cp, b_base, a_cp, a_base, lo, hi)
         edges = [lo, *roots, hi]
         challenger_won = False
         for x0, x1 in zip(edges, edges[1:]):
             if x1 - x0 <= MERGE_EPS:
                 continue
             mid = 0.5 * (x0 + x1)
-            if pb.value_at(qseg, mid) < pa.value_at(qseg, mid) - _TIE_EPS:
-                _append(win, pb.clipped(x0, x1))
-                _append(lose, pa.clipped(x0, x1))
+            xm, ym = _q_point(qseg, ln, mid)
+            if b_base + math.hypot(xm - b_cp[0], ym - b_cp[1]) < \
+                    a_base + math.hypot(xm - a_cp[0], ym - a_cp[1]) - _TIE_EPS:
+                _append(win, _clip(pb, x0, x1))
+                _append(lose, _clip(pa, x0, x1))
                 challenger_won = True
             else:
-                _append(win, pa.clipped(x0, x1))
-                _append(lose, pb.clipped(x0, x1))
+                _append(win, _clip(pa, x0, x1))
+                _append(lose, _clip(pb, x0, x1))
         return challenger_won

@@ -187,7 +187,9 @@ class ConnResult:
 
 def evaluate_point(vg: ObstructedGraph, retriever: ObstacleSource,
                    payload: Any, x: float, y: float, cfg: ConnConfig,
-                   stats: QueryStats) -> PiecewiseDistance:
+                   stats: QueryStats, bound: float = math.inf,
+                   global_env: Optional[PiecewiseDistance] = None
+                   ) -> PiecewiseDistance:
     """Full evaluation of one data point: IOR, CPLC, coverage validation.
 
     ``vg`` is any :class:`~repro.routing.backends.ObstructedGraph` — a raw
@@ -195,17 +197,28 @@ def evaluate_point(vg: ObstructedGraph, retriever: ObstacleSource,
     session obtained from
     :meth:`~repro.routing.backends.ObstructedDistanceBackend.attach_endpoints`.
 
+    ``bound``/``global_env`` carry the engine's incumbent k-envelope into
+    the point's evaluation (see :class:`~repro.core.config.ConnConfig`'s
+    ``use_global_bound``): IOR, CPLC and coverage validation all stop at
+    the bound, because nothing the point claims at or beyond it can reach
+    the result.
+
     Returns the point's control point list as a piecewise distance function
-    over the whole query segment.
+    over the whole query segment — trustworthy below ``bound``.
     """
     point_node = vg.add_point(x, y)
     try:
-        ior_fixpoint(vg, retriever, point_node, stats)
+        ior_fixpoint(vg, retriever, point_node, stats, bound)
         while True:
-            cpl = compute_cpl(vg, point_node, payload, cfg, stats)
+            cpl = compute_cpl(vg, point_node, payload, cfg, stats, bound,
+                              global_env)
             if not cfg.validate_coverage:
                 break
             claimed = cpl.max_endpoint_value()
+            if claimed > bound:
+                # Claims beyond the global bound can never surface, so
+                # coverage up to the bound validates everything that can.
+                claimed = bound
             if claimed <= retriever.radius + EPS:
                 break
             stats.coverage_rounds += 1
@@ -239,7 +252,12 @@ def run_query(source: DataSource, retriever: ObstacleSource,
             break  # Lemma 2: no unseen point can improve the result list
         _d, payload, (x, y) = source.pop()
         stats.npe += 1
-        cpl = evaluate_point(vg, retriever, payload, x, y, cfg, stats)
+        if cfg.use_global_bound:
+            bound, gdom = env.rlmax(), env.levels[-1]
+        else:
+            bound, gdom = math.inf, None
+        cpl = evaluate_point(vg, retriever, payload, x, y, cfg, stats,
+                             bound, gdom)
         env.insert(cpl, cfg, stats)
     stats.cpu_time_s += time.perf_counter() - started
     stats.svg_size = vg.svg_size

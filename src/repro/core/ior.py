@@ -97,19 +97,37 @@ class ObstacleRetriever:
 
 
 def ior_fixpoint(vg: ObstructedGraph, retriever: ObstacleSource,
-                 point_node: int, stats: QueryStats) -> None:
+                 point_node: int, stats: QueryStats,
+                 bound: float = math.inf) -> None:
     """Algorithm 1: stabilize the shortest paths from ``point_node`` to S and E.
 
     Each round computes the local shortest-path lengths to both query
     endpoints and, if they exceed the current retrieval radius, pulls in all
     obstacles up to that length — which may invalidate edges and lengthen the
     paths, so the loop repeats until a fixpoint (Lemma 3).
+
+    ``bound`` is the engine's global result bound (the generalized RLMAX):
+    a path of length >= ``bound`` can never appear in the result, so the
+    traversal is cut off there and coverage is only guaranteed up to
+    ``bound``.  Soundness: any claimed path of length L < bound ends on the
+    query segment, so every point of it lies within L of ``q`` and every
+    obstacle that could invalidate it has ``mindist(o, q) < bound`` — all
+    retrieved.  Claims at or above ``bound`` lose (or tie, which keeps the
+    incumbent) at every envelope level, so their exactness is irrelevant.
     """
     while True:
-        dists = vg.shortest_distances(point_node, (vg.S, vg.E))
+        dists = vg.shortest_distances(point_node, (vg.S, vg.E), bound, bound)
         d_prime = max(dists[vg.S], dists[vg.E])
         if d_prime <= retriever.radius + EPS:
             return
+        if d_prime > bound:
+            # Cut off (or unreachable within the bound): the point cannot
+            # beat the incumbent envelope beyond the bound, so covering
+            # obstacles up to the bound is enough.  Retrieval only lengthens
+            # paths, so the cutoff keeps holding in later rounds.
+            if retriever.ensure(bound) == 0:
+                return
+            continue
         if math.isinf(d_prime):
             # The point (or an endpoint) is currently unreachable: only the
             # complete obstacle set can confirm it.  ``ensure(inf)`` drains

@@ -53,6 +53,14 @@ class QueryStats:
     lemma7_cutoffs: int = 0
     """CPLC traversals cut short by Lemma 7."""
 
+    prefilter_skips: int = 0
+    """CPLC nodes skipped by the Euclidean lower-bound prefilter."""
+
+    global_bound_cutoffs: int = 0
+    """CPLC traversals cut short (and nodes skipped) by the global RLMAX
+    bound — the engine's incumbent k-envelope proving a candidate's
+    remaining contributions irrelevant."""
+
     coverage_rounds: int = 0
     """Extra retrieval rounds forced by coverage validation."""
 
@@ -118,6 +126,8 @@ class QueryStats:
         self.lemma1_prunes += other.lemma1_prunes
         self.lemma6_prunes += other.lemma6_prunes
         self.lemma7_cutoffs += other.lemma7_cutoffs
+        self.prefilter_skips += other.prefilter_skips
+        self.global_bound_cutoffs += other.global_bound_cutoffs
         self.coverage_rounds += other.coverage_rounds
         self.visibility_tests += other.visibility_tests
         self.cache_hits += other.cache_hits

@@ -25,9 +25,14 @@ __all__ = [
     "proper_cross_segments",
     "blocked_by_rects",
     "blocked_by_segments",
+    "blocked_batch",
     "visibility_mask",
     "pairwise_visibility",
 ]
+
+BATCH_TILE_ELEMS = 4_000_000
+"""Edge-x-obstacle elements evaluated per tile of :func:`blocked_batch`;
+bounds the broadcast intermediates to a few hundred MB."""
 
 _TINY = 1e-300
 """Division guard: replacing a zero direction component by this keeps the
@@ -152,6 +157,67 @@ def blocked_by_segments(ax, ay, bx, by, segs: np.ndarray, eps: float = EPS) -> n
     return proper_cross_segments(ax, ay, bx, by,
                                  segs[:, 0], segs[:, 1], segs[:, 2], segs[:, 3],
                                  eps)
+
+
+def blocked_batch(sources: np.ndarray, targets: np.ndarray,
+                  rects: np.ndarray, segs: np.ndarray, polys=(),
+                  eps: float = EPS,
+                  tile_elems: int = BATCH_TILE_ELEMS) -> np.ndarray:
+    """Which of M candidate edges are blocked by *any* cached obstacle?
+
+    The batch kernel behind the array-native visibility graph: row ``i`` of
+    ``sources`` / ``targets`` (both (M, 2)) is one candidate sight line, and
+    the whole M-edge block is tested against all N obstacle primitives in
+    one ``M x N`` broadcast per obstacle kind — one numpy call where the
+    scalar path made one call per edge.  Above ``tile_elems`` the broadcast
+    is tiled over source rows so intermediates stay bounded.
+
+    Semantics are exactly the elementwise kernels above (the per-edge
+    results are independent of how edges are batched or tiled), so a batch
+    decision is bit-identical to the scalar predicates on the same edge.
+
+    Args:
+        polys: optional sequence of (V, 2) counter-clockwise vertex arrays
+            for convex polygon obstacles.
+
+    Returns:
+        Boolean mask of shape (M,): True where the edge is blocked.
+    """
+    m = sources.shape[0]
+    blocked = np.zeros(m, dtype=bool)
+    if m == 0:
+        return blocked
+    n_prims = ((rects.shape[0] if rects.size else 0)
+               + (segs.shape[0] if segs.size else 0))
+    rows_per_tile = m if n_prims == 0 else max(1, tile_elems // n_prims)
+    for start in range(0, m, rows_per_tile):
+        stop = min(start + rows_per_tile, m)
+        sx = sources[start:stop, 0][:, None]
+        sy = sources[start:stop, 1][:, None]
+        tx = targets[start:stop, 0][:, None]
+        ty = targets[start:stop, 1][:, None]
+        hit = np.zeros(stop - start, dtype=bool)
+        if rects.size:
+            hit |= crosses_rect_interior(
+                sx, sy, tx, ty,
+                rects[None, :, 0], rects[None, :, 1],
+                rects[None, :, 2], rects[None, :, 3],
+                eps,
+            ).any(axis=1)
+        if segs.size:
+            hit |= proper_cross_segments(
+                sx, sy, tx, ty,
+                segs[None, :, 0], segs[None, :, 1],
+                segs[None, :, 2], segs[None, :, 3],
+                eps,
+            ).any(axis=1)
+        blocked[start:stop] = hit
+    for poly in polys:
+        arr = poly.as_array() if hasattr(poly, "as_array") else np.asarray(poly)
+        blocked |= crosses_convex_polygon(sources[:, 0], sources[:, 1],
+                                          targets[:, 0], targets[:, 1],
+                                          arr, eps)
+    return blocked
 
 
 def visibility_mask(vx: float, vy: float, targets: np.ndarray,

@@ -51,11 +51,13 @@ from ..geometry.interval import IntervalSet
 from ..geometry.point import Point
 from ..geometry.segment import Segment
 from ..geometry.vectorized import (
+    blocked_batch,
     crosses_convex_polygon,
     crosses_rect_interior,
     proper_cross_segments,
 )
-from ..routing.dijkstra import Traversal
+from ..routing.config import ARRAY_ENGINE, SCALAR_ENGINE
+from ..routing.dijkstra import ArrayTraversal, Traversal
 from .obstacle import Obstacle, ObstacleSet
 from .shadow import shadow_set, visible_region
 
@@ -73,29 +75,91 @@ class LocalVisibilityGraph:
             graph with (e.g. from a :class:`~repro.service.ObstacleCache`);
             equivalent to calling :meth:`add_obstacles` right after
             construction.
+        engine: ``"array"`` (default) stores adjacency as flat CSR-style
+            arrays — one pooled ``indices``/``weights`` slab plus a
+            per-node span map — materializes rows through the batched
+            visibility kernel, and traverses on the array-backed Dijkstra;
+            ``"scalar"`` keeps the original dict-of-dict rows and scalar
+            traversal as the byte-identical parity oracle.
     """
 
     def __init__(self, qseg: Optional[Segment] = None,
-                 obstacles: Optional[Iterable[Obstacle]] = None):
+                 obstacles: Optional[Iterable[Obstacle]] = None,
+                 engine: str = ARRAY_ENGINE):
+        if engine not in (ARRAY_ENGINE, SCALAR_ENGINE):
+            raise ValueError(f"unknown visibility-graph engine {engine!r}")
+        self.engine = engine
         self.qseg = qseg
         self.obstacles = ObstacleSet()
         self._obstacle_keys: Set[Obstacle] = set()
         self._xy: List[Tuple[float, float]] = []
         self._alive: List[bool] = []
         self._transient: List[bool] = []
-        # Lazily computed adjacency rows: node -> {neighbor: weight}, plus a
-        # staleness watermark (rect rows, seg rows, polys, node count) per row.
+        # Scalar engine: lazily computed adjacency rows, node ->
+        # {neighbor: weight}.  Both engines stamp each row with a staleness
+        # watermark (rect rows, seg rows, polys, node count).
         self._rows: Dict[int, Dict[int, float]] = {}
         self._row_marks: Dict[int, Tuple[int, int, int, int]] = {}
+        # Epoch stamps backing the O(1) staleness checks of the hot paths:
+        # _struct_epoch advances on every structural insertion (obstacles,
+        # permanent nodes) and never on transient bind/unbind churn, so a
+        # row or visible region whose recorded epoch matches is current
+        # without rebuilding and comparing count tuples.
+        self._struct_epoch = 0
+        self._row_epochs: Dict[int, int] = {}
+        # Array engine: the same rows as spans into one pooled flat slab —
+        # but *permanent* targets only.  A row's entries sit at
+        # _indices[s:e] / _weights[s:e] with (s, e) = _indptr[node];
+        # shrinks happen in place, growth relocates the row to the end of
+        # the pool (compact() repacks).  Edges to the short-lived transient
+        # nodes never enter the slab: they are appended at read time from
+        # the per-transient visibility columns, so binding a query's
+        # endpoints/data point does not invalidate a single cached row.
+        self._indices = np.empty(0, dtype=np.int64)
+        self._weights = np.empty(0, dtype=np.float64)
+        self._pool_used = 0
+        self._indptr: Dict[int, Tuple[int, int]] = {}
+        # Array engine: per-transient-node visibility/weight columns —
+        # blocked(v -> p) and weight(v, p) for every slot v, one batched
+        # kernel call per column — so a transient's edges cost a lookup
+        # per row read, not a kernel launch.
+        self._cols: Dict[int, Tuple[np.ndarray, np.ndarray,
+                                    Tuple[int, int, int]]] = {}
+        # Permanent-node slot ids in insertion order: the array engine's
+        # row watermark counts these (transients never invalidate rows).
+        self._perm_ids: List[int] = []
+        # Currently-bound transient slot ids in binding order.
+        self._live_transients: List[int] = []
+        # (generation, ids, blocked-matrix, weight-matrix) stack of the live
+        # transients' columns, so a row read appends transient edges with a
+        # couple of vector ops instead of a per-transient cache probe.
+        self._tblock: Optional[Tuple[int, np.ndarray, np.ndarray,
+                                     np.ndarray]] = None
+        # Numpy mirrors of _xy/_alive/_transient (capacity-doubling, first
+        # len(_xy) entries valid) feeding the batch kernels.
+        self._coords_np = np.empty((16, 2), dtype=np.float64)
+        self._alive_np = np.zeros(16, dtype=bool)
+        self._transient_np = np.zeros(16, dtype=bool)
         # For transient nodes: which cached rows mention them.
         self._mentions: Dict[int, Set[int]] = {}
-        # node -> (visible region, (rect rows, seg rows, polys) watermark)
-        self._vr_cache: Dict[int, Tuple[IntervalSet, Tuple[int, int, int]]] = {}
-        self._coords_cache: Optional[np.ndarray] = None
+        # node -> (visible region, (rect rows, seg rows, polys) watermark,
+        # struct epoch at which that watermark was recorded)
+        self._vr_cache: Dict[int, Tuple[IntervalSet, Tuple[int, int, int],
+                                        int]] = {}
+        # Per-node Euclidean distance to the bound query segment, the
+        # admissible heuristic behind bounded-traversal pruning.  Lazily
+        # extended as nodes appear; reset when the anchor segment changes
+        # (identity check) or coordinates are remapped by compact().
+        self._h_np = np.empty(0, dtype=np.float64)
+        self._h_len = 0
+        self._h_qseg: Optional[Segment] = None
         self.visibility_tests = 0
         self.dijkstra_runs = 0
         self.dijkstra_replays = 0
         self.nodes_settled = 0
+        self.batch_visibility_calls = 0
+        self.batched_edges_tested = 0
+        self.array_traversals = 0
         self._generation = 0
         self._traversals: Dict[int, Traversal] = {}
         self.S = -1
@@ -142,9 +206,45 @@ class LocalVisibilityGraph:
         self._xy.append((x, y))
         self._alive.append(True)
         self._transient.append(transient)
-        self._coords_cache = None
+        if transient:
+            self._live_transients.append(node)
+        else:
+            self._perm_ids.append(node)
+            self._struct_epoch += 1
+        if node >= self._alive_np.size:
+            self._grow_mirrors(2 * self._alive_np.size)
+        self._coords_np[node, 0] = x
+        self._coords_np[node, 1] = y
+        self._alive_np[node] = True
+        self._transient_np[node] = transient
         self._generation += 1
         return node
+
+    def _grow_mirrors(self, cap: int) -> None:
+        coords = np.empty((cap, 2), dtype=np.float64)
+        coords[:self._coords_np.shape[0]] = self._coords_np
+        self._coords_np = coords
+        alive = np.zeros(cap, dtype=bool)
+        alive[:self._alive_np.size] = self._alive_np
+        self._alive_np = alive
+        transient = np.zeros(cap, dtype=bool)
+        transient[:self._transient_np.size] = self._transient_np
+        self._transient_np = transient
+
+    def _rebuild_mirrors(self) -> None:
+        n = len(self._xy)
+        cap = max(16, n)
+        self._coords_np = np.empty((cap, 2), dtype=np.float64)
+        if n:
+            self._coords_np[:n] = np.asarray(self._xy, dtype=np.float64)
+        self._alive_np = np.zeros(cap, dtype=bool)
+        self._alive_np[:n] = self._alive
+        self._transient_np = np.zeros(cap, dtype=bool)
+        self._transient_np[:n] = self._transient
+
+    def _alive_view(self) -> np.ndarray:
+        """The current alive mask (array engine's ``skip`` equivalent)."""
+        return self._alive_np[:len(self._xy)]
 
     def _alive_ids(self) -> List[int]:
         return [i for i in range(len(self._xy)) if self._alive[i]]
@@ -170,11 +270,28 @@ class LocalVisibilityGraph:
             row = self._rows.get(holder)
             if row is not None:
                 row.pop(node, None)
+            span = self._indptr.get(holder)
+            if span is not None:
+                s, e = span
+                ids = self._indices[s:e]
+                keep = ids != node
+                k = int(keep.sum())
+                if k != e - s:
+                    self._indices[s:s + k] = ids[keep]
+                    self._weights[s:s + k] = self._weights[s:e][keep]
+                    self._indptr[holder] = (s, s + k)
         self._rows.pop(node, None)
+        self._indptr.pop(node, None)
         self._row_marks.pop(node, None)
+        self._row_epochs.pop(node, None)
+        self._cols.pop(node, None)
+        try:
+            self._live_transients.remove(node)
+        except ValueError:
+            pass
         self._alive[node] = False
+        self._alive_np[node] = False
         self._vr_cache.pop(node, None)
-        self._coords_cache = None
         self._generation += 1
 
     @property
@@ -208,6 +325,7 @@ class LocalVisibilityGraph:
         dead = self.dead_slots
         if dead == 0:
             return 0
+        old_len = len(self._xy)
         remap: Dict[int, int] = {}
         alive_ids: List[int] = []
         for i, alive in enumerate(self._alive):
@@ -223,9 +341,45 @@ class LocalVisibilityGraph:
         # remap that becomes the number of *alive* ids below the old mark.
         self._rows = {remap[v]: {remap[u]: w for u, w in row.items()}
                       for v, row in self._rows.items()}
-        self._row_marks = {
-            remap[v]: (r, s, p, bisect.bisect_left(alive_ids, n_nodes))
-            for v, (r, s, p, n_nodes) in self._row_marks.items()}
+        if self.engine == ARRAY_ENGINE:
+            # Array marks count permanent insertions, which compaction
+            # never removes — only the row's key needs remapping.
+            self._row_marks = {remap[v]: m
+                               for v, m in self._row_marks.items()}
+        else:
+            self._row_marks = {
+                remap[v]: (r, s, p, bisect.bisect_left(alive_ids, n_nodes))
+                for v, (r, s, p, n_nodes) in self._row_marks.items()}
+        self._row_epochs = {remap[v]: e
+                            for v, e in self._row_epochs.items()}
+        self._perm_ids = [remap[i] for i in self._perm_ids]
+        self._live_transients = [remap[t] for t in self._live_transients
+                                 if t in remap]
+        # Repack the flat slab densely in one pass: rows only reference
+        # alive nodes, so the vectorized id remap is total.
+        if self._indptr:
+            remap_np = np.full(old_len, -1, dtype=np.int64)
+            remap_np[np.asarray(alive_ids, dtype=np.int64)] = \
+                np.arange(len(alive_ids), dtype=np.int64)
+            total = sum(e - s for s, e in self._indptr.values())
+            new_idx = np.empty(total, dtype=np.int64)
+            new_w = np.empty(total, dtype=np.float64)
+            new_ptr: Dict[int, Tuple[int, int]] = {}
+            pos = 0
+            for v, (s, e) in self._indptr.items():
+                k = e - s
+                new_idx[pos:pos + k] = remap_np[self._indices[s:e]]
+                new_w[pos:pos + k] = self._weights[s:e]
+                new_ptr[remap[v]] = (pos, pos + k)
+                pos += k
+            self._indices, self._weights = new_idx, new_w
+            self._pool_used = pos
+            self._indptr = new_ptr
+        else:
+            self._indices = np.empty(0, dtype=np.int64)
+            self._weights = np.empty(0, dtype=np.float64)
+            self._pool_used = 0
+        self._cols.clear()
         # A holder may itself have been removed since it was recorded (its
         # row died with it, so the stale entry is inert) — drop those.
         self._mentions = {remap[v]: {remap[u] for u in holders if u in remap}
@@ -235,7 +389,8 @@ class LocalVisibilityGraph:
             self.E = remap[self.E]
         self._vr_cache.clear()
         self._traversals.clear()
-        self._coords_cache = None
+        self._h_len = 0  # node ids moved; heuristic values recompute lazily
+        self._rebuild_mirrors()
         self._generation += 1
         return dead
 
@@ -263,15 +418,24 @@ class LocalVisibilityGraph:
             raise RuntimeError("clone_skeleton needs an unbound graph; "
                                "unbind() first")
         self.compact()
-        clone = LocalVisibilityGraph()
+        clone = LocalVisibilityGraph(engine=self.engine)
         clone.obstacles = ObstacleSet(self.obstacles)
         clone._obstacle_keys = set(self._obstacle_keys)
         clone._xy = list(self._xy)
         clone._alive = list(self._alive)
         clone._transient = list(self._transient)
         clone._rows = {v: dict(row) for v, row in self._rows.items()}
+        clone._indices = self._indices[:self._pool_used].copy()
+        clone._weights = self._weights[:self._pool_used].copy()
+        clone._pool_used = self._pool_used
+        clone._indptr = dict(self._indptr)
         clone._row_marks = dict(self._row_marks)
+        clone._row_epochs = dict(self._row_epochs)
+        clone._struct_epoch = self._struct_epoch
+        clone._perm_ids = list(self._perm_ids)
+        clone._live_transients = list(self._live_transients)
         clone._mentions = {v: set(h) for v, h in self._mentions.items()}
+        clone._rebuild_mirrors()
         return clone
 
     # ------------------------------------------------------------ obstacles
@@ -294,6 +458,7 @@ class LocalVisibilityGraph:
             return 0
         self._obstacle_keys.update(batch)
         self.obstacles.add_many(batch)
+        self._struct_epoch += 1
         for o in batch:
             for vx, vy in o.vertices():
                 self._new_node(vx, vy, transient=False)
@@ -303,6 +468,12 @@ class LocalVisibilityGraph:
     def _current_mark(self) -> Tuple[int, int, int, int]:
         return (self.obstacles.rects.shape[0], self.obstacles.segs.shape[0],
                 len(self.obstacles.polys), len(self._xy))
+
+    def _array_mark(self) -> Tuple[int, int, int, int]:
+        """Array-row watermark: node component counts *permanent* nodes only,
+        so bind/unbind churn never invalidates a cached flat row."""
+        return (self.obstacles.rects.shape[0], self.obstacles.segs.shape[0],
+                len(self.obstacles.polys), len(self._perm_ids))
 
     def _visible_from(self, x: float, y: float, targets: np.ndarray,
                       chunk: int = 64) -> np.ndarray:
@@ -379,6 +550,243 @@ class LocalVisibilityGraph:
                 if self._transient[i]:
                     self._mentions.setdefault(i, set()).add(node)
 
+    # ----------------------------------------------------- adjacency (flat)
+    def _prims_now(self) -> int:
+        return (self.obstacles.rects.shape[0] + self.obstacles.segs.shape[0]
+                + len(self.obstacles.polys))
+
+    def _count_batch(self, edges: int, prims: int) -> None:
+        self.batch_visibility_calls += 1
+        tested = edges * prims
+        self.batched_edges_tested += tested
+        self.visibility_tests += tested
+
+    def _row_write(self, node: int, idx: np.ndarray, w: np.ndarray) -> None:
+        """Place a row in the slab: in place when it fits, else appended."""
+        span = self._indptr.get(node)
+        n = idx.size
+        if span is not None and n <= span[1] - span[0]:
+            s = span[0]
+        else:
+            if self._pool_used + n > self._indices.size:
+                cap = max(256, self._pool_used + n, 2 * self._indices.size)
+                grown_i = np.empty(cap, dtype=np.int64)
+                grown_i[:self._pool_used] = self._indices[:self._pool_used]
+                grown_w = np.empty(cap, dtype=np.float64)
+                grown_w[:self._pool_used] = self._weights[:self._pool_used]
+                self._indices, self._weights = grown_i, grown_w
+            s = self._pool_used
+            self._pool_used += n
+        self._indices[s:s + n] = idx
+        self._weights[s:s + n] = w
+        self._indptr[node] = (s, s + n)
+
+    def _column(self, p: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(blocked(v -> p), weight(v, p))`` for every node slot v.
+
+        One batched kernel call per transient instead of one per
+        (row, transient) pair; orientation matches the scalar repair path
+        (source = the row's owner, target = the transient).  Weights go
+        through ``math.hypot`` exactly like materialized rows, so a
+        transient edge read from the column is bit-identical to one the
+        scalar engine computes.  Cached per obstacle watermark; dead slots
+        compute junk that no live row ever looks up.
+        """
+        omark = (self.obstacles.rects.shape[0], self.obstacles.segs.shape[0],
+                 len(self.obstacles.polys))
+        n = len(self._xy)
+        px, py = self._xy[p]
+        hypot = math.hypot
+        cached = self._cols.get(p)
+        m = 0
+        col = wcol = None
+        if cached is not None and cached[2] == omark:
+            col, wcol = cached[0], cached[1]
+            if col.size >= n:
+                return col, wcol
+            # Still valid, just short: slots were added since the column
+            # was cut (e.g. another bind's transients).  Extend by testing
+            # only the new slots, not the whole graph again.
+            m = col.size
+        targets = np.empty((n - m, 2), dtype=np.float64)
+        targets[:, 0] = px
+        targets[:, 1] = py
+        tail = blocked_batch(self._coords_np[m:n], targets,
+                             self.obstacles.rects, self.obstacles.segs,
+                             self.obstacles.polys)
+        self._count_batch(n - m, self._prims_now())
+        wtail = np.empty(n - m, dtype=np.float64)
+        for j in range(m, n):
+            vx, vy = self._xy[j]
+            wtail[j - m] = hypot(vx - px, vy - py)
+        if m:
+            col = np.concatenate([col, tail])
+            wcol = np.concatenate([wcol, wtail])
+        else:
+            col, wcol = tail, wtail
+        self._cols[p] = (col, wcol, omark)
+        return col, wcol
+
+    def _transient_block(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The live transients' columns stacked: ``(ids, blocked, weights)``.
+
+        ``blocked[v, j]`` / ``weights[v, j]`` describe the edge between slot
+        ``v`` and the j-th bound transient.  Rebuilt lazily whenever the
+        graph changes (generation bump); between changes every row read
+        shares the same stack.
+        """
+        cached = self._tblock
+        if cached is not None and cached[0] == self._generation:
+            return cached[1], cached[2], cached[3]
+        ts = self._live_transients
+        n = len(self._xy)
+        tarr = np.asarray(ts, dtype=np.int64)
+        bm = np.empty((n, len(ts)), dtype=bool)
+        wm = np.empty((n, len(ts)), dtype=np.float64)
+        for j, t in enumerate(ts):
+            col, wcol = self._column(t)
+            bm[:, j] = col[:n]
+            wm[:, j] = wcol[:n]
+        self._tblock = (self._generation, tarr, bm, wm)
+        return tarr, bm, wm
+
+    def _materialize_row(self, node: int,
+                         mark_now: Tuple[int, int, int, int]
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        x, y = self._xy[node]
+        n = len(self._xy)
+        # Rows hold *permanent* endpoints only; transient edges are appended
+        # at read time from the shared visibility columns (row_arrays), so
+        # bind/unbind churn never touches the slab.
+        mask = self._alive_np[:n] & ~self._transient_np[:n]
+        mask[node] = False
+        cand = np.nonzero(mask)[0]
+        if cand.size:
+            sources = np.empty((cand.size, 2), dtype=np.float64)
+            sources[:, 0] = x
+            sources[:, 1] = y
+            blocked = blocked_batch(sources, self._coords_np[cand],
+                                    self.obstacles.rects, self.obstacles.segs,
+                                    self.obstacles.polys)
+            self._count_batch(cand.size, self._prims_now())
+            vis = cand[~blocked]
+        else:
+            vis = cand
+        idx = vis.astype(np.int64, copy=False)
+        # Weights go through math.hypot, not np.hypot: the two differ in
+        # the last ulp on ~0.5% of inputs, and engine parity is bit-exact.
+        w = np.empty(idx.size, dtype=np.float64)
+        xy = self._xy
+        for j, i in enumerate(idx.tolist()):
+            tx, ty = xy[i]
+            w[j] = math.hypot(x - tx, y - ty)
+        self._row_marks[node] = mark_now
+        self._row_write(node, idx, w)
+        s, e = self._indptr[node]
+        return self._indices[s:e], self._weights[s:e]
+
+    def _repair_row(self, node: int,
+                    mark_now: Tuple[int, int, int, int]) -> None:
+        n_rects, n_segs, n_polys, n_perm = self._row_marks[node]
+        s, e = self._indptr[node]
+        x, y = self._xy[node]
+        xy = self._xy
+        # Drop entries blocked by obstacles added since the row was cut.
+        new_rects = self.obstacles.rects[n_rects:]
+        new_segs = self.obstacles.segs[n_segs:]
+        new_polys = self.obstacles.polys[n_polys:]
+        if e > s and (new_rects.size or new_segs.size or new_polys):
+            ids = self._indices[s:e]
+            sources = np.empty((ids.size, 2), dtype=np.float64)
+            sources[:, 0] = x
+            sources[:, 1] = y
+            blocked = blocked_batch(sources, self._coords_np[ids],
+                                    new_rects, new_segs, new_polys)
+            self._count_batch(ids.size, new_rects.shape[0]
+                              + new_segs.shape[0] + len(new_polys))
+            if blocked.any():
+                keep = ~blocked
+                k = int(keep.sum())
+                self._indices[s:s + k] = ids[keep]
+                self._weights[s:s + k] = self._weights[s:e][keep]
+                e = s + k
+                self._indptr[node] = (s, e)
+        # Wire up permanent vertices added since the row was cut, in one
+        # batched call.  Transients never enter the slab — row_arrays
+        # appends them at read time from the shared visibility columns —
+        # so per-query bind/unbind churn never triggers a repair at all.
+        perm = [i for i in self._perm_ids[n_perm:] if i != node]
+        if perm:
+            add_ids: List[int] = []
+            add_w: List[float] = []
+            tgt = self._coords_np[np.asarray(perm, dtype=np.int64)]
+            sources = np.empty((len(perm), 2), dtype=np.float64)
+            sources[:, 0] = x
+            sources[:, 1] = y
+            blocked = blocked_batch(sources, tgt, self.obstacles.rects,
+                                    self.obstacles.segs,
+                                    self.obstacles.polys)
+            self._count_batch(len(perm), self._prims_now())
+            for i, dead in zip(perm, blocked.tolist()):
+                if not dead:
+                    tx, ty = xy[i]
+                    add_ids.append(i)
+                    add_w.append(math.hypot(x - tx, y - ty))
+            if add_ids:
+                merged_idx = np.concatenate(
+                    [self._indices[s:e], np.asarray(add_ids, dtype=np.int64)])
+                merged_w = np.concatenate(
+                    [self._weights[s:e], np.asarray(add_w, dtype=np.float64)])
+                self._row_write(node, merged_idx, merged_w)
+        self._row_marks[node] = mark_now
+
+    def row_arrays(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The flat adjacency row of ``node``: ``(ids, weights)``.
+
+        The array engine's counterpart of :meth:`neighbors`: same lazy
+        materialization, same two-step incremental repair, but each step
+        is one batched kernel call instead of one per candidate edge, and
+        the result feeds the array traversal without building a dict.
+
+        The slab row covers permanent endpoints only and is keyed on a
+        watermark that ignores transients, so steady-state query traffic
+        (bind endpoints, route, unbind) never repairs a row.  Edges to the
+        currently bound transients are appended here at read time from
+        their shared visibility columns; when none are bound the returned
+        arrays are zero-copy slab views.
+        """
+        epoch = self._struct_epoch
+        span = self._indptr.get(node)
+        if span is None:
+            idx, w = self._materialize_row(node, self._array_mark())
+            self._row_epochs[node] = epoch
+        else:
+            if self._row_epochs.get(node) != epoch:
+                # Epoch moved since the row was cut; the count watermark
+                # decides whether anything this row covers actually grew.
+                mark_now = self._array_mark()
+                if self._row_marks[node] != mark_now:
+                    self._repair_row(node, mark_now)
+                    span = self._indptr[node]
+                self._row_epochs[node] = epoch
+            s, e = span
+            idx, w = self._indices[s:e], self._weights[s:e]
+        if self._live_transients:
+            tarr, bm, wm = self._transient_block()
+            keep = ~bm[node]
+            if self._transient_np[node]:
+                # Only a transient reader can appear in the transient id
+                # list; permanent rows skip the self-exclusion pass.
+                keep &= tarr != node
+            if keep.all():
+                add_i, add_w = tarr, wm[node]
+            else:
+                add_i, add_w = tarr[keep], wm[node][keep]
+            if add_i.size:
+                idx = np.concatenate([idx, add_i])
+                w = np.concatenate([w, add_w])
+        return idx, w
+
     def neighbors(self, node: int) -> Dict[int, float]:
         """The adjacency row of ``node``, computed/repaired lazily.
 
@@ -387,7 +795,14 @@ class LocalVisibilityGraph:
         entries are retested against the *new* obstacles only, and sight
         lines to the *new* nodes only are added (tested against all
         obstacles).  Rows are therefore always current when returned.
+
+        On the array engine the row lives in the flat slab; the dict view
+        here is built on demand for the non-hot-path consumers (tests,
+        the session surface, :func:`num_edges`).
         """
+        if self.engine == ARRAY_ENGINE:
+            idx, w = self.row_arrays(node)
+            return dict(zip(idx.tolist(), w.tolist()))
         row = self._rows.get(node)
         mark_now = self._current_mark()
         if row is not None:
@@ -439,8 +854,25 @@ class LocalVisibilityGraph:
         """Count sight-line edges (cached rows only, unless ``materialize``)."""
         if materialize:
             for node in self._alive_ids():
-                self.neighbors(node)
+                if self.engine == ARRAY_ENGINE:
+                    self.row_arrays(node)
+                else:
+                    self.neighbors(node)
         seen = set()
+        if self.engine == ARRAY_ENGINE:
+            for v, (s, e) in self._indptr.items():
+                if not self._alive[v]:
+                    continue
+                for n in self._indices[s:e].tolist():
+                    seen.add((v, n) if v < n else (n, v))
+            # Slab rows cover permanent endpoints only; fold in the bound
+            # transients' edges from their visibility columns.
+            for t in self._live_transients:
+                col, _ = self._column(t)
+                for v in self._alive_ids():
+                    if v != t and not col[v]:
+                        seen.add((v, t) if v < t else (t, v))
+            return len(seen)
         for v, row in self._rows.items():
             if not self._alive[v]:
                 continue
@@ -451,37 +883,78 @@ class LocalVisibilityGraph:
     # ------------------------------------------------------ visible regions
     def visible_region_of(self, node: int) -> IntervalSet:
         """Cached ``VR_{node,q}``, narrowed lazily as obstacles arrive."""
+        epoch = self._struct_epoch
+        cached = self._vr_cache.get(node)
+        if cached is not None and cached[2] == epoch:
+            return cached[0]
         rects = self.obstacles.rects
         segs = self.obstacles.segs
         polys = self.obstacles.polys
         watermark_now = (rects.shape[0], segs.shape[0], len(polys))
-        cached = self._vr_cache.get(node)
         if cached is not None:
-            vr, watermark = cached
+            vr, watermark, _ = cached
             if watermark != watermark_now:
                 x, y = self._xy[node]
                 vr = vr.subtract(shadow_set(x, y, self.qseg,
                                             rects[watermark[0]:],
                                             segs[watermark[1]:],
                                             polys[watermark[2]:]))
-                self._vr_cache[node] = (vr, watermark_now)
+            self._vr_cache[node] = (vr, watermark_now, epoch)
             return vr
         x, y = self._xy[node]
         vr = visible_region(x, y, self.qseg, self.obstacles)
-        self._vr_cache[node] = (vr, watermark_now)
+        self._vr_cache[node] = (vr, watermark_now, epoch)
         return vr
 
     # -------------------------------------------------------------- dijkstra
-    def _traversal(self, source: int) -> Traversal:
+    def _segment_heuristic(self) -> np.ndarray:
+        """Per-node Euclidean distance to the bound query segment.
+
+        The admissible heuristic behind bounded-traversal pruning.  Values
+        are produced by the very same scalar ``qseg.dist_point`` that CPLC's
+        Euclidean prefilter calls, so the traversal's prune test and CPLC's
+        ``dist + dist(v, q) >= bound`` skip agree bit for bit — a node the
+        traversal declines to relax is guaranteed to be skipped (not
+        trusted) downstream.  Extended lazily as nodes appear; dead slots
+        keep stale values harmlessly (their coordinates never change).
+        """
+        q = self.qseg
+        n = len(self._xy)
+        if self._h_qseg is not q:
+            self._h_qseg = q
+            self._h_len = 0
+        if self._h_len < n:
+            if self._h_np.size < n:
+                grown = np.empty(max(n, 2 * self._h_np.size, 64),
+                                 dtype=np.float64)
+                grown[:self._h_len] = self._h_np[:self._h_len]
+                self._h_np = grown
+            dp = q.dist_point
+            xy = self._xy
+            h = self._h_np
+            for i in range(self._h_len, n):
+                x, y = xy[i]
+                h[i] = dp(x, y)
+            self._h_len = n
+        return self._h_np
+
+    def _traversal(self, source: int,
+                   prune_bound: float = math.inf) -> Traversal:
         """The memoized traversal for ``source``, rebuilt when stale.
 
         A traversal is valid exactly while the graph is unchanged since it
         started (generation match): node insertion can open shorter paths,
         obstacle insertion can cut edges, and transient removal can kill
-        settled nodes — any of which falsifies the recorded tree.
+        settled nodes — any of which falsifies the recorded tree.  A pruned
+        traversal additionally only serves requests with an equal or
+        *smaller* bound (it settles a superset of their safe set); a larger
+        bound forces a rebuild.
         """
+        if prune_bound < math.inf and self.qseg is None:
+            prune_bound = math.inf  # no segment, no heuristic to prune with
         t = self._traversals.get(source)
-        if t is not None and t.stamp == self._generation:
+        if t is not None and t.stamp == self._generation \
+                and t.prune_bound >= prune_bound:
             self.dijkstra_replays += 1
             return t
         if len(self._traversals) >= _MAX_TRAVERSAL_MEMO:
@@ -490,14 +963,25 @@ class LocalVisibilityGraph:
                                 if tr.stamp == gen}
             while len(self._traversals) >= _MAX_TRAVERSAL_MEMO:
                 self._traversals.pop(next(iter(self._traversals)))
-        t = Traversal(self.neighbors, source,
-                      skip=lambda n: not self._alive[n],
-                      stamp=self._generation)
+        heur = (self._segment_heuristic() if prune_bound < math.inf
+                else None)
+        if self.engine == ARRAY_ENGINE:
+            t = ArrayTraversal(self.row_arrays, source, len(self._xy),
+                               alive=self._alive_view,
+                               prune_bound=prune_bound, heur=heur,
+                               stamp=self._generation)
+            self.array_traversals += 1
+        else:
+            t = Traversal(self.neighbors, source,
+                          skip=lambda n: not self._alive[n],
+                          prune_bound=prune_bound, heur=heur,
+                          stamp=self._generation)
         self._traversals[source] = t
         self.dijkstra_runs += 1
         return t
 
-    def dijkstra_order(self, source: int) -> Iterator[Tuple[float, int, Optional[int]]]:
+    def dijkstra_order(self, source: int, prune_bound: float = math.inf
+                       ) -> Iterator[Tuple[float, int, Optional[int]]]:
         """Yield ``(dist, node, predecessor)`` in ascending settled order.
 
         This is the traversal CPLC consumes; the caller breaks out when
@@ -507,19 +991,41 @@ class LocalVisibilityGraph:
         traversals from one source over an unchanged graph replay the
         memoized shortest-path tree instead of restarting (the cost that
         used to make ``shortest_path`` re-run a full Dijkstra per call).
+
+        ``prune_bound`` enables goal-directed relaxation pruning toward the
+        bound query segment (see :class:`~repro.routing.dijkstra.Traversal`):
+        yielded nodes with ``dist + dist(node, qseg) < prune_bound`` are
+        exact — distance, predecessor and position — while anything beyond
+        may arrive late, inflated, or not at all, so callers must discard
+        contributions at or past the bound (CPLC's global-bound skip does).
         """
-        t = self._traversal(source)
+        t = self._traversal(source, prune_bound)
         return t.order(on_advance=self._count_settle)
 
     def _count_settle(self, _entry: Tuple[float, int, Optional[int]]) -> None:
         self.nodes_settled += 1
 
-    def shortest_distances(self, source: int,
-                           targets: Iterable[int]) -> Dict[int, float]:
-        """Early-terminating Dijkstra: distances to ``targets`` (inf if cut off)."""
+    def shortest_distances(self, source: int, targets: Iterable[int],
+                           cutoff: float = math.inf,
+                           prune_bound: float = math.inf) -> Dict[int, float]:
+        """Early-terminating Dijkstra: distances to ``targets`` (inf if cut off).
+
+        ``cutoff`` additionally stops the traversal once settled distances
+        exceed it; targets not yet settled report ``inf``.  The underlying
+        traversal stays resumable, so a later call with a larger cutoff
+        continues where this one stopped.
+
+        ``prune_bound`` opts into goal-directed relaxation pruning (see
+        :meth:`dijkstra_order`): only safe for targets *on* the query
+        segment (IOR's S and E, whose heuristic is zero) — their reported
+        distance is exact whenever it is below the bound, and any target
+        cut off by pruning necessarily reports at or above it.
+        """
         remaining = set(targets)
         out = {t: math.inf for t in remaining}
-        for d, node, _pred in self.dijkstra_order(source):
+        for d, node, _pred in self.dijkstra_order(source, prune_bound):
+            if d > cutoff:
+                break
             if node in remaining:
                 out[node] = d
                 remaining.discard(node)

@@ -158,6 +158,19 @@ class QueryPlan:
     est_graph_builds: int = 1
     """Full visibility-graph builds this query is priced to pay (0 when the
     workspace-shared graph is already resident)."""
+    engine: str = "array"
+    """The substrate engine (:class:`~repro.routing.RoutingConfig`) the
+    chosen backend runs on: ``"array"`` (batched kernels, flat adjacency,
+    array Dijkstra) or ``"scalar"`` (the parity oracle)."""
+    backend_batch_calls: int = 0
+    """Cumulative batched visibility-kernel launches on the chosen backend
+    at plan time (see ``BackendStats.batch_visibility_calls``)."""
+    backend_batched_edges: int = 0
+    """Cumulative edge x primitive pairs those launches evaluated
+    (``BackendStats.batched_edges_tested``)."""
+    backend_array_traversals: int = 0
+    """Cumulative array-engine traversals on the chosen backend at plan
+    time (``BackendStats.array_traversals``)."""
     est_parallel_speedup: float = 1.0
     """Estimated wall-clock speedup of executing this plan on the
     workspace's configured worker pool
@@ -207,6 +220,10 @@ class QueryPlan:
             f"  backend   : {self.backend} "
             f"(est. {self.est_graph_builds} visibility-graph "
             f"build{'' if self.est_graph_builds == 1 else 's'})",
+            f"  engine    : {self.engine} "
+            f"({self.backend_batch_calls} batch visibility calls, "
+            f"{self.backend_batched_edges} batched edges tested, "
+            f"{self.backend_array_traversals} array traversals so far)",
             f"  parallel  : est. {self.est_parallel_speedup:.2f}x speedup "
             f"on this plan's independent units",
             f"  config    : {flags}",
@@ -281,6 +298,19 @@ def _estimate_pages(obstacle_tree: RStarTree, footprint: Optional[Rect],
     return obstacle_tree.height + max(1, math.ceil(leaf_pages * frac))
 
 
+def _engine_fields(ws: "Workspace", chosen: str) -> dict:
+    """The plan's substrate-engine fields: selection + counter snapshot."""
+    cfg = getattr(ws, "routing_config", None)
+    stats = (ws.routing.stats if chosen == SHARED_VG
+             else ws.per_query_backend.stats)
+    return {
+        "engine": cfg.engine if cfg is not None else "array",
+        "backend_batch_calls": stats.batch_visibility_calls,
+        "backend_batched_edges": stats.batched_edges_tested,
+        "backend_array_traversals": stats.array_traversals,
+    }
+
+
 def build_plan(workspace: "Workspace", query: Query,
                backend: Optional[str] = None) -> QueryPlan:
     """Select algorithm + layout + backend and estimate I/O for ``query``.
@@ -320,7 +350,8 @@ def build_plan(workspace: "Workspace", query: Query,
                          backend=PAIRWISE_VG, est_graph_builds=1,
                          backend_override=backend,
                          workspace_version=ws.version,
-                         tree_versions=tree_versions(ws))
+                         tree_versions=tree_versions(ws),
+                         **_engine_fields(ws, PAIRWISE_VG))
 
     if not isinstance(query, (CoknnQuery, OnnQuery, RangeQuery,
                               TrajectoryQuery)):
@@ -399,4 +430,5 @@ def build_plan(workspace: "Workspace", query: Query,
                      tuple(notes), backend=chosen, est_graph_builds=builds,
                      est_parallel_speedup=est_speedup,
                      backend_override=backend, workspace_version=ws.version,
-                     tree_versions=tree_versions(ws))
+                     tree_versions=tree_versions(ws),
+                     **_engine_fields(ws, chosen))

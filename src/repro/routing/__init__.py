@@ -25,7 +25,14 @@ across every query.  This package makes the choice a first-class, planner
 """
 
 from .stats import BackendStats
-from .dijkstra import Traversal, dijkstra_all
+from .config import (
+    ARRAY_ENGINE,
+    DEFAULT_ROUTING,
+    SCALAR_ENGINE,
+    SCALAR_ROUTING,
+    RoutingConfig,
+)
+from .dijkstra import ArrayTraversal, Traversal, dijkstra_all
 from .backends import (
     PER_QUERY_VG,
     SHARED_VG,
@@ -37,13 +44,19 @@ from .backends import (
 )
 
 __all__ = [
+    "ARRAY_ENGINE",
+    "ArrayTraversal",
     "BackendStats",
+    "DEFAULT_ROUTING",
     "ObstructedDistanceBackend",
     "ObstructedGraph",
     "PER_QUERY_VG",
     "PerQueryVGBackend",
-    "SHARED_VG",
+    "RoutingConfig",
+    "SCALAR_ENGINE",
+    "SCALAR_ROUTING",
     "SharedVGBackend",
+    "SHARED_VG",
     "Traversal",
     "VGSession",
     "dijkstra_all",

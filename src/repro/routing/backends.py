@@ -36,6 +36,7 @@ I/O pattern, not an answer) may differ.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from typing import (
@@ -52,6 +53,7 @@ from typing import (
     runtime_checkable,
 )
 
+from .config import DEFAULT_ROUTING, RoutingConfig
 from .stats import BackendStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -82,9 +84,11 @@ class ObstructedGraph(Protocol):
     def remove_point(self, node: int) -> None: ...  # pragma: no cover
     def node_point(self, node: int) -> "Point": ...  # pragma: no cover
     def add_obstacles(self, batch: Iterable["Obstacle"]) -> int: ...  # pragma: no cover
-    def dijkstra_order(self, source: int
+    def dijkstra_order(self, source: int, prune_bound: float = math.inf
                        ) -> Iterator[Tuple[float, int, Optional[int]]]: ...  # pragma: no cover
-    def shortest_distances(self, source: int, targets: Iterable[int]
+    def shortest_distances(self, source: int, targets: Iterable[int],
+                           cutoff: float = math.inf,
+                           prune_bound: float = math.inf
                            ) -> Dict[int, float]: ...  # pragma: no cover
     def visible_region_of(self, node: int) -> "IntervalSet": ...  # pragma: no cover
 
@@ -126,6 +130,9 @@ class VGSession:
         self._runs0 = graph.dijkstra_runs
         self._replays0 = graph.dijkstra_replays
         self._settled0 = graph.nodes_settled
+        self._batch0 = graph.batch_visibility_calls
+        self._edges0 = graph.batched_edges_tested
+        self._array0 = graph.array_traversals
         self._closed = False
 
     # ------------------------------------------------------- graph surface
@@ -141,13 +148,15 @@ class VGSession:
     def neighbors(self, node: int) -> Dict[int, float]:
         return self.graph.neighbors(node)
 
-    def dijkstra_order(self, source: int
+    def dijkstra_order(self, source: int, prune_bound: float = math.inf
                        ) -> Iterator[Tuple[float, int, Optional[int]]]:
-        return self.graph.dijkstra_order(source)
+        return self.graph.dijkstra_order(source, prune_bound)
 
-    def shortest_distances(self, source: int, targets: Iterable[int]
-                           ) -> Dict[int, float]:
-        return self.graph.shortest_distances(source, targets)
+    def shortest_distances(self, source: int, targets: Iterable[int],
+                           cutoff: float = math.inf,
+                           prune_bound: float = math.inf) -> Dict[int, float]:
+        return self.graph.shortest_distances(source, targets, cutoff,
+                                             prune_bound)
 
     def shortest_path(self, source: int, target: int
                       ) -> Tuple[float, List[int]]:
@@ -203,6 +212,11 @@ class VGSession:
             dijkstra_replays=self.graph.dijkstra_replays - self._replays0,
             nodes_settled=self.graph.nodes_settled - self._settled0,
             visibility_tests=self.graph.visibility_tests - self._vt0,
+            batch_visibility_calls=(self.graph.batch_visibility_calls
+                                    - self._batch0),
+            batched_edges_tested=(self.graph.batched_edges_tested
+                                  - self._edges0),
+            array_traversals=self.graph.array_traversals - self._array0,
         )
         # Counters accumulate per session (this graph is exclusively ours
         # for the session's lifetime, so the deltas are exact) and merge at
@@ -233,10 +247,12 @@ class ObstructedDistanceBackend(Protocol):
                          ) -> VGSession: ...  # pragma: no cover
 
     def shortest_distances(self, session: VGSession, source: int,
-                           targets: Iterable[int]
+                           targets: Iterable[int], cutoff: float = math.inf,
+                           prune_bound: float = math.inf
                            ) -> Dict[int, float]: ...  # pragma: no cover
 
-    def dijkstra_order(self, session: VGSession, source: int
+    def dijkstra_order(self, session: VGSession, source: int,
+                       prune_bound: float = math.inf
                        ) -> Iterator[Tuple[float, int, Optional[int]]]: ...  # pragma: no cover
 
     def note_obstacle_insert(self, obstacle: "Obstacle") -> None: ...  # pragma: no cover
@@ -259,14 +275,18 @@ class _BackendBase:
             self.stats.merge(delta)
 
     def shortest_distances(self, session: VGSession, source: int,
-                           targets: Iterable[int]) -> Dict[int, float]:
+                           targets: Iterable[int],
+                           cutoff: float = math.inf,
+                           prune_bound: float = math.inf) -> Dict[int, float]:
         """Early-terminating Dijkstra distances on a session's graph."""
-        return session.shortest_distances(source, targets)
+        return session.shortest_distances(source, targets, cutoff,
+                                          prune_bound)
 
-    def dijkstra_order(self, session: VGSession, source: int
+    def dijkstra_order(self, session: VGSession, source: int,
+                       prune_bound: float = math.inf
                        ) -> Iterator[Tuple[float, int, Optional[int]]]:
         """The ascending settled order a session's graph yields."""
-        return session.dijkstra_order(source)
+        return session.dijkstra_order(source, prune_bound)
 
     def note_obstacle_insert(self, obstacle: "Obstacle") -> None:
         """Announced obstacle insert; stateless backends ignore it."""
@@ -284,9 +304,17 @@ class PerQueryVGBackend(_BackendBase):
     Stateless across queries: every :meth:`attach_endpoints` builds a fresh
     anchored graph, so a cold one-shot pays exactly the seed algorithm's
     cost and nothing lingers afterwards.
+
+    Args:
+        routing: which substrate engine the per-query graphs run on
+            (array-native by default; scalar for the parity oracle).
     """
 
     name = PER_QUERY_VG
+
+    def __init__(self, routing: RoutingConfig = DEFAULT_ROUTING) -> None:
+        super().__init__()
+        self.routing = routing
 
     def attach_endpoints(self, qseg: "Segment",
                          stats: Optional["QueryStats"] = None) -> VGSession:
@@ -294,7 +322,7 @@ class PerQueryVGBackend(_BackendBase):
         from ..obstacles.visgraph import LocalVisibilityGraph
 
         t0 = time.perf_counter()
-        graph = LocalVisibilityGraph(qseg)
+        graph = LocalVisibilityGraph(qseg, engine=self.routing.engine)
         return VGSession(self, graph, qseg, stats, shared=False, built=True,
                          build_time_s=time.perf_counter() - t0)
 
@@ -311,6 +339,8 @@ class SharedVGBackend(_BackendBase):
             further as queries retrieve past the cached footprint.
         max_pool: idle graphs kept for concurrent sessions beyond the
             primary (spares above the bound are dropped on release).
+        routing: which substrate engine resident graphs run on
+            (array-native by default; scalar for the parity oracle).
 
     The *primary* graph is built on first attach and reused by every later
     serial session — exactly the pre-concurrency behavior, same stats.
@@ -339,11 +369,13 @@ class SharedVGBackend(_BackendBase):
     name = SHARED_VG
 
     def __init__(self, obstacle_tree: "RStarTree", cache: Any = None,
-                 max_pool: int = 8):
+                 max_pool: int = 8,
+                 routing: RoutingConfig = DEFAULT_ROUTING):
         super().__init__()
         self.tree = obstacle_tree
         self.cache = cache
         self.max_pool = max_pool
+        self.routing = routing
         self._graph: Optional["LocalVisibilityGraph"] = None
         self._primary_busy = False
         self._idle: List["LocalVisibilityGraph"] = []
@@ -451,7 +483,8 @@ class SharedVGBackend(_BackendBase):
                     else list(self.cache.obstacles))
         else:
             seed = []
-        graph = LocalVisibilityGraph(obstacles=seed)
+        graph = LocalVisibilityGraph(obstacles=seed,
+                                     engine=self.routing.engine)
         return graph, time.perf_counter() - t0
 
     def prepare_sessions(self, n: int) -> int:

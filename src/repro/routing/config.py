@@ -1,0 +1,53 @@
+"""Configuration of the obstructed-distance substrate.
+
+:class:`RoutingConfig` selects which *engine* runs under the (frozen)
+graph/traversal API: the array-native hot path or the scalar dict
+implementation.  Both produce byte-identical answers — same distances,
+same predecessors, same settled order — so the scalar engine survives as
+the parity oracle the Hypothesis suite checks the array engine against,
+and as the fallback while debugging kernel-level changes.
+
+Like :mod:`repro.routing.stats`, this module sits at the bottom of the
+routing dependency stack and imports nothing from the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ARRAY_ENGINE = "array"
+"""Flat CSR-style adjacency + batched kernels + array-backed Dijkstra."""
+
+SCALAR_ENGINE = "scalar"
+"""Dict-of-dict adjacency + per-chunk kernels + dict-backed Dijkstra."""
+
+_ENGINES = (ARRAY_ENGINE, SCALAR_ENGINE)
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """How the distance substrate executes (not *what* it computes).
+
+    Args:
+        engine: ``"array"`` (default) for the array-native hot path —
+            batched visibility kernels, flat adjacency rows, vectorized
+            Dijkstra relaxation — or ``"scalar"`` for the original
+            dict-based implementation.  Answers are byte-identical either
+            way; only speed and the batch counters in
+            :class:`~repro.routing.stats.BackendStats` differ.
+    """
+
+    engine: str = ARRAY_ENGINE
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"unknown routing engine {self.engine!r}; "
+                f"expected one of {_ENGINES}")
+
+
+DEFAULT_ROUTING = RoutingConfig()
+"""The array-native hot path (production default)."""
+
+SCALAR_ROUTING = RoutingConfig(engine=SCALAR_ENGINE)
+"""The scalar parity oracle."""

@@ -36,79 +36,27 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
 Adjacency = Callable[[int], Mapping[int, float]]
 """Lazily supplied adjacency: node -> {neighbor: edge weight}."""
+
+ArrayAdjacency = Callable[[int], Tuple[np.ndarray, np.ndarray]]
+"""Lazily supplied flat adjacency: node -> (neighbor ids, edge weights)."""
 
 SettledEntry = Tuple[float, int, Optional[int]]
 """One settled node: ``(distance, node, shortest-path predecessor)``."""
 
 
-class Traversal:
-    """A single-source best-first expansion with a memoized settled prefix.
+class _ReplayCore:
+    """Replay-then-extend iteration shared by both traversal engines."""
 
-    Args:
-        neighbors: adjacency callback, invoked once per settled node (so
-            lazily materialized rows are only paid for nodes the traversal
-            actually reaches).
-        source: the source node.
-        skip: optional predicate; neighbors for which it returns True are
-            never relaxed (the visibility graph uses it to exclude
-            removed transient nodes).
-        stamp: opaque validity token recorded for the owner; the traversal
-            itself never inspects it.
-    """
+    __slots__ = ()
 
-    __slots__ = ("_neighbors", "_skip", "source", "dist", "pred",
-                 "settled", "_heap", "_done", "stamp", "_lock")
+    settled: List[SettledEntry]
 
-    def __init__(self, neighbors: Adjacency, source: int,
-                 skip: Optional[Callable[[int], bool]] = None,
-                 stamp: Any = None):
-        self._neighbors = neighbors
-        self._skip = skip
-        self.source = source
-        self.dist: Dict[int, float] = {source: 0.0}
-        self.pred: Dict[int, Optional[int]] = {source: None}
-        self.settled: List[SettledEntry] = []
-        self._heap: List[Tuple[float, int]] = [(0.0, source)]
-        self._done: set = set()
-        self.stamp = stamp
-        self._lock = threading.Lock()
-
-    @property
-    def exhausted(self) -> bool:
-        """True when no frontier remains (every reachable node settled)."""
-        return not self._heap
-
-    def advance(self) -> Optional[SettledEntry]:
-        """Settle and record the next node; ``None`` when exhausted.
-
-        Serialized by a per-traversal lock: a memoized traversal can be
-        replayed-and-extended by several consumers (the settled prefix is
-        the shared asset), and two threads racing the frontier would
-        otherwise pop the heap and grow ``settled`` inconsistently.  The
-        replay path of :meth:`order` stays lock-free — it only reads the
-        append-only settled prefix.
-        """
-        skip = self._skip
-        with self._lock:
-            while self._heap:
-                d, node = heapq.heappop(self._heap)
-                if node in self._done:
-                    continue
-                self._done.add(node)
-                entry = (d, node, self.pred[node])
-                self.settled.append(entry)
-                for nbr, w in self._neighbors(node).items():
-                    if skip is not None and skip(nbr):
-                        continue
-                    nd = d + w
-                    if nd < self.dist.get(nbr, math.inf):
-                        self.dist[nbr] = nd
-                        self.pred[nbr] = node
-                        heapq.heappush(self._heap, (nd, nbr))
-                return entry
-            return None
+    def advance(self) -> Optional[SettledEntry]:  # pragma: no cover
+        raise NotImplementedError
 
     def order(self, on_advance: Optional[Callable[[SettledEntry], None]]
               = None) -> Iterator[SettledEntry]:
@@ -144,6 +92,208 @@ class Traversal:
         """Settle every reachable node (the classic eager Dijkstra)."""
         while self.advance() is not None:
             pass
+
+
+class Traversal(_ReplayCore):
+    """A single-source best-first expansion with a memoized settled prefix.
+
+    Args:
+        neighbors: adjacency callback, invoked once per settled node (so
+            lazily materialized rows are only paid for nodes the traversal
+            actually reaches).
+        source: the source node.
+        skip: optional predicate; neighbors for which it returns True are
+            never relaxed (the visibility graph uses it to exclude
+            removed transient nodes).
+        prune_bound: with ``heur``, goal-directed relaxation pruning: a
+            settled node with ``dist + heur[node] >= prune_bound`` records
+            its entry but relaxes nothing.  ``heur`` must be an admissible
+            per-node lower bound on the remaining distance to the goal the
+            caller cares about; the safe set ``dist + heur < prune_bound``
+            is then prefix-closed along shortest paths (triangle
+            inequality), so every node in it keeps its exact Dijkstra
+            distance, predecessor and settled position, while nodes outside
+            it may settle late, inflated, or never — callers must treat
+            ``dist + heur >= prune_bound`` results as "beyond the bound".
+        stamp: opaque validity token recorded for the owner; the traversal
+            itself never inspects it.
+    """
+
+    __slots__ = ("_neighbors", "_skip", "source", "dist", "pred",
+                 "settled", "_heap", "_done", "stamp", "_lock",
+                 "prune_bound", "_heur")
+
+    def __init__(self, neighbors: Adjacency, source: int,
+                 skip: Optional[Callable[[int], bool]] = None,
+                 prune_bound: float = math.inf,
+                 heur: Optional[np.ndarray] = None,
+                 stamp: Any = None):
+        self._neighbors = neighbors
+        self._skip = skip
+        self.source = source
+        self.dist: Dict[int, float] = {source: 0.0}
+        self.pred: Dict[int, Optional[int]] = {source: None}
+        self.settled: List[SettledEntry] = []
+        self._heap: List[Tuple[float, int]] = [(0.0, source)]
+        self._done: set = set()
+        self.prune_bound = prune_bound
+        self._heur = heur if prune_bound < math.inf else None
+        self.stamp = stamp
+        self._lock = threading.Lock()
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no frontier remains (every reachable node settled)."""
+        return not self._heap
+
+    def advance(self) -> Optional[SettledEntry]:
+        """Settle and record the next node; ``None`` when exhausted.
+
+        Serialized by a per-traversal lock: a memoized traversal can be
+        replayed-and-extended by several consumers (the settled prefix is
+        the shared asset), and two threads racing the frontier would
+        otherwise pop the heap and grow ``settled`` inconsistently.  The
+        replay path of :meth:`order` stays lock-free — it only reads the
+        append-only settled prefix.
+        """
+        skip = self._skip
+        with self._lock:
+            while self._heap:
+                d, node = heapq.heappop(self._heap)
+                if node in self._done:
+                    continue
+                self._done.add(node)
+                entry = (d, node, self.pred[node])
+                self.settled.append(entry)
+                heur = self._heur
+                if heur is not None and node < heur.size \
+                        and d + heur[node] >= self.prune_bound:
+                    return entry
+                for nbr, w in self._neighbors(node).items():
+                    if skip is not None and skip(nbr):
+                        continue
+                    nd = d + w
+                    if nd < self.dist.get(nbr, math.inf):
+                        self.dist[nbr] = nd
+                        self.pred[nbr] = node
+                        heapq.heappush(self._heap, (nd, nbr))
+                return entry
+            return None
+
+
+class ArrayTraversal(_ReplayCore):
+    """The array-backed engine behind the same resumable/replayable API.
+
+    Semantically identical to :class:`Traversal` — same settled order, same
+    distances, same predecessors, bit for bit — but the per-node state lives
+    in preallocated numpy arrays instead of dicts, and a whole adjacency row
+    is relaxed in one vectorized pass.  Identity holds because a binary
+    heap's pop sequence is determined by the multiset of pushed ``(d, node)``
+    pairs (not their push order), relaxation uses the same strict ``<`` on
+    the same IEEE doubles, and each neighbor appears at most once per row so
+    the vectorized compare-and-assign matches the scalar loop exactly.
+
+    Args:
+        rows: flat adjacency callback: node -> ``(indices, weights)``
+            arrays, invoked once per settled node.
+        source: the source node.
+        size: node-slot capacity to preallocate; the arrays grow on demand
+            when the owning graph adds slots mid-traversal.
+        alive: optional callback returning the owner's current alive mask
+            (the array engine's equivalent of the scalar ``skip``
+            predicate); neighbors dead at relaxation time are not relaxed.
+        prune_bound: goal-directed relaxation pruning, identical in
+            semantics to :class:`Traversal`'s (see there).
+        stamp: opaque validity token recorded for the owner.
+    """
+
+    __slots__ = ("_rows", "_alive", "source", "dist", "pred", "settled",
+                 "_heap", "_done", "stamp", "_lock", "prune_bound", "_heur")
+
+    def __init__(self, rows: ArrayAdjacency, source: int, size: int,
+                 alive: Optional[Callable[[], np.ndarray]] = None,
+                 prune_bound: float = math.inf,
+                 heur: Optional[np.ndarray] = None,
+                 stamp: Any = None):
+        self._rows = rows
+        self._alive = alive
+        self.prune_bound = prune_bound
+        self._heur = heur if prune_bound < math.inf else None
+        self.source = source
+        n = max(size, source + 1)
+        self.dist = np.full(n, np.inf, dtype=np.float64)
+        self.dist[source] = 0.0
+        self.pred = np.full(n, -1, dtype=np.int64)
+        self.settled: List[SettledEntry] = []
+        self._heap: List[Tuple[float, int]] = [(0.0, source)]
+        self._done = np.zeros(n, dtype=bool)
+        self.stamp = stamp
+        self._lock = threading.Lock()
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no frontier remains (every reachable node settled)."""
+        return not self._heap
+
+    def _grow(self, n: int) -> None:
+        old = self.dist.size
+        dist = np.full(n, np.inf, dtype=np.float64)
+        dist[:old] = self.dist
+        self.dist = dist
+        pred = np.full(n, -1, dtype=np.int64)
+        pred[:old] = self.pred
+        self.pred = pred
+        done = np.zeros(n, dtype=bool)
+        done[:old] = self._done
+        self._done = done
+
+    def advance(self) -> Optional[SettledEntry]:
+        """Settle and record the next node; ``None`` when exhausted.
+
+        Locking mirrors :meth:`Traversal.advance`: the settled prefix is
+        the shared asset, replay stays lock-free.
+        """
+        with self._lock:
+            heap = self._heap
+            while heap:
+                d, node = heapq.heappop(heap)
+                if self._done[node]:
+                    continue
+                self._done[node] = True
+                p = self.pred[node]
+                entry = (d, node, None if p < 0 else int(p))
+                self.settled.append(entry)
+                heur = self._heur
+                if heur is not None and node < heur.size \
+                        and d + heur[node] >= self.prune_bound:
+                    return entry
+                idx, w = self._rows(node)
+                mask = self._alive() if self._alive is not None else None
+                if mask is not None and mask.size > self.dist.size:
+                    self._grow(mask.size)
+                if idx.size:
+                    if mask is None:
+                        # No owner mask to size against: bound-check the
+                        # row itself.  (With a mask, the owner's mirrors
+                        # cover every node id a row can contain, so the
+                        # grow above already guarantees capacity.)
+                        hi = int(idx.max())
+                        if hi >= self.dist.size:
+                            self._grow(hi + 1)
+                    nd = d + w
+                    improved = nd < self.dist[idx]
+                    if mask is not None:
+                        improved &= mask[idx]
+                    ii = idx[improved]
+                    if ii.size:
+                        vv = nd[improved]
+                        self.dist[ii] = vv
+                        self.pred[ii] = node
+                        push = heapq.heappush
+                        for item in zip(vv.tolist(), ii.tolist()):
+                            push(heap, item)
+                return entry
+            return None
 
 
 def dijkstra_all(adj: List[Mapping[int, float]], source: int

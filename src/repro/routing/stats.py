@@ -60,6 +60,18 @@ class BackendStats:
     visibility_tests: int = 0
     """Sight-line tests performed while adjacency rows materialized."""
 
+    batch_visibility_calls: int = 0
+    """Batched visibility-kernel launches (array engine: one per
+    materialized row, repair step, or transient visibility column)."""
+
+    batched_edges_tested: int = 0
+    """Candidate-edge x obstacle-primitive pairs evaluated inside batched
+    kernel launches (the array engine's share of ``visibility_tests``)."""
+
+    array_traversals: int = 0
+    """Fresh traversals run on the array-backed Dijkstra engine (0 under
+    the scalar parity oracle)."""
+
     patched: int = 0
     """Announced obstacle inserts patched into a shared graph in place."""
 
@@ -93,6 +105,9 @@ class BackendStats:
         self.dijkstra_replays += other.dijkstra_replays
         self.nodes_settled += other.nodes_settled
         self.visibility_tests += other.visibility_tests
+        self.batch_visibility_calls += other.batch_visibility_calls
+        self.batched_edges_tested += other.batched_edges_tested
+        self.array_traversals += other.array_traversals
         self.patched += other.patched
         self.evicted += other.evicted
         self.invalidations += other.invalidations

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from collections import OrderedDict
 from typing import (
     Any,
@@ -330,12 +331,22 @@ class ShardedWorkspace:
                 f"expected a Query description, got {type(query)!r}")
         sids = self._initial_shards(query)
         expansions = 0
+        env_t = route_t = reexec_t = 0.0
+        clock = time.perf_counter
         while True:
+            t0 = clock()
             env = self._environment(sids)
+            t1 = clock()
+            env_t += t1 - t0
             if backend is not None:
                 result = env.execute(env.plan(query, backend=backend))
             else:
                 result = env.execute(query)
+            t2 = clock()
+            if expansions:
+                reexec_t += t2 - t1
+            else:
+                route_t += t2 - t1
             needed = self._needed_shards(query, result)
             if needed is None or needed <= sids:
                 break
@@ -343,7 +354,9 @@ class ShardedWorkspace:
             expansions += 1
         block = ShardStats(queries=1,
                            by_shard={sid: 1 for sid in sorted(sids)},
-                           border_expansions=expansions, fanout=len(sids))
+                           border_expansions=expansions, fanout=len(sids),
+                           route_time_s=route_t, reexec_time_s=reexec_t,
+                           merge_build_time_s=env_t)
         result.stats.shard = block
         return result, block
 

@@ -55,6 +55,19 @@ class ShardStats:
     """Standing monitors moved to a different owning shard set by a
     boundary-crossing update.  Workspace-level only."""
 
+    route_time_s: float = 0.0
+    """Seconds spent in each query's *first* execution against its home
+    environment — the cost sharding can never remove."""
+
+    reexec_time_s: float = 0.0
+    """Seconds spent re-executing queries on widened shard sets after a
+    border expansion — the protocol's repeated-work overhead."""
+
+    merge_build_time_s: float = 0.0
+    """Seconds spent obtaining the executing environment, dominated by
+    materializing cross-shard merged workspaces (cache hits and
+    single-shard lookups cost microseconds)."""
+
     @property
     def fanout_ratio(self) -> float:
         """Mean shards consulted per query (1.0 = perfectly shard-local)."""
@@ -76,6 +89,9 @@ class ShardStats:
         self.merges_built += other.merges_built
         self.merge_reuses += other.merge_reuses
         self.rehomes += other.rehomes
+        self.route_time_s += other.route_time_s
+        self.reexec_time_s += other.reexec_time_s
+        self.merge_build_time_s += other.merge_build_time_s
 
     def describe(self) -> str:
         """One-line human-readable summary."""
