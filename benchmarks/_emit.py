@@ -23,7 +23,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict
 
-DEFAULT_FILE = "BENCH_PR8.json"
+DEFAULT_FILE = "BENCH_PR9.json"
 """Current trajectory artifact name (bumped once per PR, here only)."""
 
 DEFAULT_PATH = Path(__file__).resolve().parent.parent / DEFAULT_FILE
@@ -86,5 +86,26 @@ def emit(section: str, payload: Dict[str, Any],
         "git": _git_rev(),
     }
     data[section] = payload
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def emit_scalar(key: str, value: Any,
+                path: "str | os.PathLike | None" = None) -> Path:
+    """Record a single top-level scalar in the benchmark JSON file.
+
+    Headline numbers (a PR's corridor speedup, a gate's measured margin)
+    live at the top level of the artifact so trajectory tooling can diff
+    them across PRs with one key lookup instead of digging through each
+    benchmark's section layout.  Sections and other scalars are preserved.
+    """
+    target = Path(path or os.environ.get("BENCH_JSON") or DEFAULT_PATH)
+    data: Dict[str, Any] = {}
+    if target.exists():
+        try:
+            data = json.loads(target.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[key] = value
     target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return target

@@ -30,6 +30,8 @@ Run from the repository root::
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import random
 import sys
 import time
@@ -37,7 +39,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from _emit import add_emit_argument, emit
+from _emit import add_emit_argument, emit, emit_scalar
 
 from repro import (
     ConnQuery,
@@ -127,10 +129,24 @@ def backend_row(label: str, ws: Workspace, wall: float, reads: int) -> dict:
         "vtests": stats.visibility_tests,
         "batch_calls": stats.batch_visibility_calls,
         "batched_edges": stats.batched_edges_tested,
+        "pruned_edges": stats.kernel_pruned_edges,
+        "bulk_pushes": stats.heap_bulk_pushes,
         "array_traversals": stats.array_traversals,
         "reads": reads,
         "wall_s": wall,
     }
+
+
+def dump_profile(prof: cProfile.Profile, arm: str, top: int = 25) -> None:
+    """Top-``top`` cumulative-time profile lines for one arm, to stderr.
+
+    stderr keeps the dump out of stdout's result tables and out of any
+    shell redirection capturing the benchmark's machine-readable output.
+    """
+    print(f"\n--- profile: {arm} (top {top} by cumulative time) ---",
+          file=sys.stderr)
+    stats = pstats.Stats(prof, stream=sys.stderr)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
 
 
 def run_repeated(args, backend: str, engine: str = "array",
@@ -142,9 +158,15 @@ def run_repeated(args, backend: str, engine: str = "array",
     queries = corridor_queries(args)
     ws.execute(queries[0])  # warm the cache; not part of the measured run
     snap = ws.obstacle_tree.tracker.stats.snapshot()
+    prof = cProfile.Profile() if getattr(args, "profile", False) else None
+    if prof is not None:
+        prof.enable()
     started = time.perf_counter()
     results = [ws.execute(q) for q in queries]
     wall = time.perf_counter() - started
+    if prof is not None:
+        prof.disable()
+        dump_profile(prof, label or f"{backend}/{engine}")
     reads = ws.obstacle_tree.tracker.stats.delta(snap).logical_reads
     row = backend_row("shared" if backend == "shared" else "per-query",
                       ws, wall, reads)
@@ -225,6 +247,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--engine-repeats", type=int, default=1,
                         help="interleaved repetitions of the engine arms; "
                              "the best wall per arm is reported")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile every measured arm and dump the top "
+                             "functions by cumulative time to stderr "
+                             "(the walls reported while profiling carry "
+                             "tracer overhead — don't gate on them)")
     add_emit_argument(parser)
     args = parser.parse_args(argv)
 
@@ -261,7 +288,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                if array_arm["wall_s"] > 0 else float("inf"))
     print(f"\n  array engine speedup over scalar oracle: {speedup:.2f}x "
           f"({array_arm['batch_calls']} batched kernel calls, "
-          f"{array_arm['batched_edges']} edges tested in batch)")
+          f"{array_arm['batched_edges']} edges tested in batch, "
+          f"{array_arm['pruned_edges']} bbox-pruned, "
+          f"{array_arm['bulk_pushes']} bulk heap pushes)")
     if not answers_agree(array_arm["answers"], scalar_arm["answers"]):
         failures.append("engine arms disagree: array vs scalar answers")
     if args.require_speedup is not None and speedup < args.require_speedup:
@@ -296,6 +325,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "speedup": speedup},
         "identical_results": not failures,
     }, path=args.emit)
+    # The PR's headline number, diffable with one key lookup.
+    emit_scalar("corridor_speedup", round(speedup, 3), path=args.emit)
 
     if failures:
         for f in failures:

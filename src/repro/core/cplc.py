@@ -70,7 +70,38 @@ def compute_cpl(vg: ObstructedGraph, point_node: int, owner: Any,
     cplmax = cpl.max_endpoint_value()
     prefilter = cfg.use_euclid_prefilter
     use_bound = bound < math.inf
-    for dist_v, v, pred in vg.dijkstra_order(point_node, bound):
+    # This loop touches every settled node of every CPLC Dijkstra, so when
+    # the graph surface exposes its raw resumable traversal the settled
+    # prefix is consumed directly (replay-cursor discipline identical to
+    # _ReplayCore.order, same entries in the same order) instead of paying
+    # a generator resume per node; other surfaces fall back to the
+    # dijkstra_order iterator.
+    st = getattr(vg, "settled_traversal", None)
+    if st is None:
+        tr = settled = on_settle = None
+        entries = iter(vg.dijkstra_order(point_node, bound))
+        nxt = entries.__next__
+    else:
+        tr, on_settle = st(point_node, bound)
+        settled = tr.settled
+    i = 0
+    while True:
+        if tr is None:
+            try:
+                dist_v, v, pred = nxt()
+            except StopIteration:
+                break
+        elif i < len(settled):
+            dist_v, v, pred = settled[i]
+            i += 1
+        else:
+            entry = tr.advance()
+            if entry is None:
+                if i < len(settled):
+                    continue
+                break
+            on_settle(entry)
+            continue
         if cfg.use_lemma7 and dist_v >= cplmax:
             stats.lemma7_cutoffs += 1
             break
@@ -126,6 +157,12 @@ def compute_cpl(vg: ObstructedGraph, point_node: int, owner: Any,
             # (Unlike the CPLMAX gate above this works even while parts of
             # the envelope are still unknown: the check itself refuses to
             # skip wherever the region overlaps an unknown piece.)
+            # Once the envelope grows past a few pieces this check runs on
+            # the envelope's numpy piece table: whole overlapping piece
+            # ranges are screened per region interval, and only entries
+            # within the float screen band are re-decided in exact scalar
+            # arithmetic — so the skip/keep decision is identical to the
+            # scalar loop's.
             stats.prefilter_skips += 1
             continue
         challenger = PiecewiseDistance.from_region(qseg, region, (vx, vy),

@@ -26,6 +26,7 @@ __all__ = [
     "blocked_by_rects",
     "blocked_by_segments",
     "blocked_batch",
+    "primitive_bounds",
     "visibility_mask",
     "pairwise_visibility",
 ]
@@ -159,10 +160,68 @@ def blocked_by_segments(ax, ay, bx, by, segs: np.ndarray, eps: float = EPS) -> n
                                  eps)
 
 
+def primitive_bounds(rects: np.ndarray, segs: np.ndarray
+                     ) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-primitive AABBs for :func:`blocked_batch`'s bbox prefilter.
+
+    Returns ``(rect_bounds, seg_bounds)``, each of shape (N, 4) as
+    ``[xlo, ylo, xhi, yhi]`` rows.  Rectangle obstacles already *are*
+    their bounds (``RectObstacle`` validates ``lo <= hi``), so that slab
+    is returned without copying; segment bounds order each coordinate
+    pair.
+    """
+    if segs.size:
+        sb = np.empty((segs.shape[0], 4), dtype=np.float64)
+        np.minimum(segs[:, 0], segs[:, 2], out=sb[:, 0])
+        np.minimum(segs[:, 1], segs[:, 3], out=sb[:, 1])
+        np.maximum(segs[:, 0], segs[:, 2], out=sb[:, 2])
+        np.maximum(segs[:, 1], segs[:, 3], out=sb[:, 3])
+    else:
+        sb = np.empty((0, 4), dtype=np.float64)
+    return rects, sb
+
+
+def _kind_hits(hit: np.ndarray, kernel, sx, sy, tx, ty, prims: np.ndarray,
+               pb, pad: float, eps: float,
+               ebounds) -> "tuple[int, int]":
+    """Test one obstacle kind for one tile, optionally bbox-prefiltered.
+
+    Updates ``hit`` in place; returns ``(pairs_tested, pairs_pruned)``.
+    The prefilter only skips (edge, primitive) pairs whose padded AABBs
+    are disjoint — pairs the tolerant kernels below could never have
+    decided "blocking" (the pad dominates their eps tolerance and the
+    midpoint-lerp rounding) — so the resulting mask is identical to the
+    full broadcast.
+    """
+    full = hit.shape[0] * prims.shape[0]
+    if pb is not None:
+        exlo, eylo, exhi, eyhi = ebounds
+        overlap = ((exlo[:, None] <= pb[None, :, 2] + pad) &
+                   (exhi[:, None] >= pb[None, :, 0] - pad) &
+                   (eylo[:, None] <= pb[None, :, 3] + pad) &
+                   (eyhi[:, None] >= pb[None, :, 1] - pad))
+        ei, oi = overlap.nonzero()
+        # Gathering pairs costs ~2x the broadcast per element, so a dense
+        # overlap (most boxes touch most edges) runs the plain broadcast.
+        if ei.size * 2 < full:
+            if ei.size:
+                pair_hit = kernel(sx[ei], sy[ei], tx[ei], ty[ei],
+                                  prims[oi, 0], prims[oi, 1],
+                                  prims[oi, 2], prims[oi, 3], eps)
+                hit[ei[pair_hit]] = True
+            return ei.size, full - ei.size
+    hit |= kernel(sx[:, None], sy[:, None], tx[:, None], ty[:, None],
+                  prims[None, :, 0], prims[None, :, 1],
+                  prims[None, :, 2], prims[None, :, 3], eps).any(axis=1)
+    return full, 0
+
+
 def blocked_batch(sources: np.ndarray, targets: np.ndarray,
                   rects: np.ndarray, segs: np.ndarray, polys=(),
                   eps: float = EPS,
-                  tile_elems: int = BATCH_TILE_ELEMS) -> np.ndarray:
+                  tile_elems: int = BATCH_TILE_ELEMS,
+                  bounds: "tuple[np.ndarray, np.ndarray] | None" = None,
+                  tally: "dict | None" = None) -> np.ndarray:
     """Which of M candidate edges are blocked by *any* cached obstacle?
 
     The batch kernel behind the array-native visibility graph: row ``i`` of
@@ -173,50 +232,81 @@ def blocked_batch(sources: np.ndarray, targets: np.ndarray,
     is tiled over source rows so intermediates stay bounded.
 
     Semantics are exactly the elementwise kernels above (the per-edge
-    results are independent of how edges are batched or tiled), so a batch
-    decision is bit-identical to the scalar predicates on the same edge.
+    results are independent of how edges are batched, tiled, or bbox-
+    prefiltered), so a batch decision is bit-identical to the scalar
+    predicates on the same edge.
 
     Args:
         polys: optional sequence of (V, 2) counter-clockwise vertex arrays
             for convex polygon obstacles.
+        bounds: optional :func:`primitive_bounds` result for ``rects`` /
+            ``segs``.  When given, each edge is only evaluated against
+            primitives whose padded AABB overlaps the edge's AABB; a pair
+            whose boxes are disjoint cannot block (see :func:`_kind_hits`),
+            so results are unchanged — only cheaper.
+        tally: optional dict the call fills with ``tested`` (pairs actually
+            evaluated by a kernel) and ``pruned`` (pairs skipped by the
+            prefilter) for the owner's counters.
 
     Returns:
         Boolean mask of shape (M,): True where the edge is blocked.
     """
     m = sources.shape[0]
     blocked = np.zeros(m, dtype=bool)
+    tested = pruned = 0
     if m == 0:
+        if tally is not None:
+            tally["tested"] = tally["pruned"] = 0
         return blocked
-    n_prims = ((rects.shape[0] if rects.size else 0)
-               + (segs.shape[0] if segs.size else 0))
+    n_rects = rects.shape[0] if rects.size else 0
+    n_segs = segs.shape[0] if segs.size else 0
+    rb = sb = None
+    pad = 0.0
+    if bounds is not None and (n_rects or n_segs):
+        rb, sb = bounds
+        if not n_rects or not rb.size:
+            rb = None
+        if not n_segs or not sb.size:
+            sb = None
+        # The pad scales eps by the coordinate magnitude so it dominates
+        # both the kernels' tolerant comparisons and the rounding of the
+        # clipped-midpoint lerp — no truly blocking pair can be pruned.
+        scale = 1.0 + max(float(np.abs(sources).max()),
+                          float(np.abs(targets).max()))
+        pad = 8.0 * eps * scale
+    n_prims = n_rects + n_segs
     rows_per_tile = m if n_prims == 0 else max(1, tile_elems // n_prims)
     for start in range(0, m, rows_per_tile):
         stop = min(start + rows_per_tile, m)
-        sx = sources[start:stop, 0][:, None]
-        sy = sources[start:stop, 1][:, None]
-        tx = targets[start:stop, 0][:, None]
-        ty = targets[start:stop, 1][:, None]
+        sx = sources[start:stop, 0]
+        sy = sources[start:stop, 1]
+        tx = targets[start:stop, 0]
+        ty = targets[start:stop, 1]
         hit = np.zeros(stop - start, dtype=bool)
-        if rects.size:
-            hit |= crosses_rect_interior(
-                sx, sy, tx, ty,
-                rects[None, :, 0], rects[None, :, 1],
-                rects[None, :, 2], rects[None, :, 3],
-                eps,
-            ).any(axis=1)
-        if segs.size:
-            hit |= proper_cross_segments(
-                sx, sy, tx, ty,
-                segs[None, :, 0], segs[None, :, 1],
-                segs[None, :, 2], segs[None, :, 3],
-                eps,
-            ).any(axis=1)
+        ebounds = None
+        if rb is not None or sb is not None:
+            ebounds = (np.minimum(sx, tx), np.minimum(sy, ty),
+                       np.maximum(sx, tx), np.maximum(sy, ty))
+        if n_rects:
+            t, p = _kind_hits(hit, crosses_rect_interior, sx, sy, tx, ty,
+                              rects, rb, pad, eps, ebounds)
+            tested += t
+            pruned += p
+        if n_segs:
+            t, p = _kind_hits(hit, proper_cross_segments, sx, sy, tx, ty,
+                              segs, sb, pad, eps, ebounds)
+            tested += t
+            pruned += p
         blocked[start:stop] = hit
     for poly in polys:
         arr = poly.as_array() if hasattr(poly, "as_array") else np.asarray(poly)
         blocked |= crosses_convex_polygon(sources[:, 0], sources[:, 1],
                                           targets[:, 0], targets[:, 1],
                                           arr, eps)
+        tested += m
+    if tally is not None:
+        tally["tested"] = tested
+        tally["pruned"] = pruned
     return blocked
 
 

@@ -54,6 +54,7 @@ from ..geometry.vectorized import (
     blocked_batch,
     crosses_convex_polygon,
     crosses_rect_interior,
+    primitive_bounds,
     proper_cross_segments,
 )
 from ..routing.config import ARRAY_ENGINE, SCALAR_ENGINE
@@ -130,11 +131,12 @@ class LocalVisibilityGraph:
         self._perm_ids: List[int] = []
         # Currently-bound transient slot ids in binding order.
         self._live_transients: List[int] = []
-        # (generation, ids, blocked-matrix, weight-matrix) stack of the live
-        # transients' columns, so a row read appends transient edges with a
-        # couple of vector ops instead of a per-transient cache probe.
+        # (generation, ids, blocked-matrix, weight-matrix, any-blocked) stack
+        # of the live transients' columns, so a row read appends transient
+        # edges with a couple of vector ops instead of a per-transient cache
+        # probe.
         self._tblock: Optional[Tuple[int, np.ndarray, np.ndarray,
-                                     np.ndarray]] = None
+                                     np.ndarray, np.ndarray]] = None
         # Numpy mirrors of _xy/_alive/_transient (capacity-doubling, first
         # len(_xy) entries valid) feeding the batch kernels.
         self._coords_np = np.empty((16, 2), dtype=np.float64)
@@ -159,7 +161,14 @@ class LocalVisibilityGraph:
         self.nodes_settled = 0
         self.batch_visibility_calls = 0
         self.batched_edges_tested = 0
+        self.kernel_pruned_edges = 0
+        self.heap_bulk_pushes = 0
         self.array_traversals = 0
+        # (rect rows, seg rows) watermark -> primitive-bounds slabs for the
+        # batch kernel's bbox prefilter; obstacle arrays are append-only,
+        # so the count pair keys validity.
+        self._bounds_cache: Optional[Tuple[int, int, np.ndarray,
+                                           np.ndarray]] = None
         self._generation = 0
         self._traversals: Dict[int, Traversal] = {}
         self.S = -1
@@ -555,11 +564,31 @@ class LocalVisibilityGraph:
         return (self.obstacles.rects.shape[0] + self.obstacles.segs.shape[0]
                 + len(self.obstacles.polys))
 
-    def _count_batch(self, edges: int, prims: int) -> None:
+    def _prim_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached primitive-bounds slabs for the batch kernel's prefilter."""
+        rects = self.obstacles.rects
+        segs = self.obstacles.segs
+        key = (rects.shape[0], segs.shape[0])
+        cached = self._bounds_cache
+        if cached is None or (cached[0], cached[1]) != key:
+            rb, sb = primitive_bounds(rects, segs)
+            cached = (key[0], key[1], rb, sb)
+            self._bounds_cache = cached
+        return cached[2], cached[3]
+
+    def _count_batch(self, edges: int, prims: int,
+                     tally: Optional[dict] = None) -> None:
         self.batch_visibility_calls += 1
-        tested = edges * prims
+        if tally is not None:
+            tested = tally["tested"]
+            self.kernel_pruned_edges += tally["pruned"]
+        else:
+            tested = edges * prims
         self.batched_edges_tested += tested
         self.visibility_tests += tested
+
+    def _count_bulk_push(self) -> None:
+        self.heap_bulk_pushes += 1
 
     def _row_write(self, node: int, idx: np.ndarray, w: np.ndarray) -> None:
         """Place a row in the slab: in place when it fits, else appended."""
@@ -611,10 +640,12 @@ class LocalVisibilityGraph:
         targets = np.empty((n - m, 2), dtype=np.float64)
         targets[:, 0] = px
         targets[:, 1] = py
+        tally: dict = {}
         tail = blocked_batch(self._coords_np[m:n], targets,
                              self.obstacles.rects, self.obstacles.segs,
-                             self.obstacles.polys)
-        self._count_batch(n - m, self._prims_now())
+                             self.obstacles.polys,
+                             bounds=self._prim_bounds(), tally=tally)
+        self._count_batch(n - m, self._prims_now(), tally)
         wtail = np.empty(n - m, dtype=np.float64)
         for j in range(m, n):
             vx, vy = self._xy[j]
@@ -627,17 +658,20 @@ class LocalVisibilityGraph:
         self._cols[p] = (col, wcol, omark)
         return col, wcol
 
-    def _transient_block(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """The live transients' columns stacked: ``(ids, blocked, weights)``.
+    def _transient_block(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                        np.ndarray]:
+        """The live transients' columns stacked: ids/blocked/weights/any.
 
         ``blocked[v, j]`` / ``weights[v, j]`` describe the edge between slot
-        ``v`` and the j-th bound transient.  Rebuilt lazily whenever the
-        graph changes (generation bump); between changes every row read
-        shares the same stack.
+        ``v`` and the j-th bound transient; ``any_blocked[v]`` collapses the
+        blocked row so readers with nothing to filter (the vast majority —
+        most graph nodes see every bound endpoint) take a mask-free path.
+        Rebuilt lazily whenever the graph changes (generation bump);
+        between changes every row read shares the same stack.
         """
         cached = self._tblock
         if cached is not None and cached[0] == self._generation:
-            return cached[1], cached[2], cached[3]
+            return cached[1], cached[2], cached[3], cached[4]
         ts = self._live_transients
         n = len(self._xy)
         tarr = np.asarray(ts, dtype=np.int64)
@@ -647,8 +681,9 @@ class LocalVisibilityGraph:
             col, wcol = self._column(t)
             bm[:, j] = col[:n]
             wm[:, j] = wcol[:n]
-        self._tblock = (self._generation, tarr, bm, wm)
-        return tarr, bm, wm
+        anyb = bm.any(axis=1)
+        self._tblock = (self._generation, tarr, bm, wm, anyb)
+        return tarr, bm, wm, anyb
 
     def _materialize_row(self, node: int,
                          mark_now: Tuple[int, int, int, int]
@@ -665,10 +700,12 @@ class LocalVisibilityGraph:
             sources = np.empty((cand.size, 2), dtype=np.float64)
             sources[:, 0] = x
             sources[:, 1] = y
+            tally: dict = {}
             blocked = blocked_batch(sources, self._coords_np[cand],
                                     self.obstacles.rects, self.obstacles.segs,
-                                    self.obstacles.polys)
-            self._count_batch(cand.size, self._prims_now())
+                                    self.obstacles.polys,
+                                    bounds=self._prim_bounds(), tally=tally)
+            self._count_batch(cand.size, self._prims_now(), tally)
             vis = cand[~blocked]
         else:
             vis = cand
@@ -700,10 +737,14 @@ class LocalVisibilityGraph:
             sources = np.empty((ids.size, 2), dtype=np.float64)
             sources[:, 0] = x
             sources[:, 1] = y
+            rb, sb = self._prim_bounds()
+            tally: dict = {}
             blocked = blocked_batch(sources, self._coords_np[ids],
-                                    new_rects, new_segs, new_polys)
+                                    new_rects, new_segs, new_polys,
+                                    bounds=(rb[n_rects:], sb[n_segs:]),
+                                    tally=tally)
             self._count_batch(ids.size, new_rects.shape[0]
-                              + new_segs.shape[0] + len(new_polys))
+                              + new_segs.shape[0] + len(new_polys), tally)
             if blocked.any():
                 keep = ~blocked
                 k = int(keep.sum())
@@ -723,10 +764,12 @@ class LocalVisibilityGraph:
             sources = np.empty((len(perm), 2), dtype=np.float64)
             sources[:, 0] = x
             sources[:, 1] = y
+            tally = {}
             blocked = blocked_batch(sources, tgt, self.obstacles.rects,
                                     self.obstacles.segs,
-                                    self.obstacles.polys)
-            self._count_batch(len(perm), self._prims_now())
+                                    self.obstacles.polys,
+                                    bounds=self._prim_bounds(), tally=tally)
+            self._count_batch(len(perm), self._prims_now(), tally)
             for i, dead in zip(perm, blocked.tolist()):
                 if not dead:
                     tx, ty = xy[i]
@@ -772,9 +815,19 @@ class LocalVisibilityGraph:
             s, e = span
             idx, w = self._indices[s:e], self._weights[s:e]
         if self._live_transients:
-            tarr, bm, wm = self._transient_block()
+            tb = self._tblock
+            if tb is not None and tb[0] == self._generation:
+                _, tarr, bm, wm, anyb = tb
+            else:
+                tarr, bm, wm, anyb = self._transient_block()
+            if not self._transient[node] and not anyb[node]:
+                # Permanent reader, every bound endpoint visible: append
+                # the whole stack without building a keep mask (the vast
+                # majority of settles on an open corridor).
+                return (np.concatenate([idx, tarr]),
+                        np.concatenate([w, wm[node]]))
             keep = ~bm[node]
-            if self._transient_np[node]:
+            if self._transient[node]:
                 # Only a transient reader can appear in the transient id
                 # list; permanent rows skip the self-exclusion pass.
                 keep &= tarr != node
@@ -969,6 +1022,7 @@ class LocalVisibilityGraph:
             t = ArrayTraversal(self.row_arrays, source, len(self._xy),
                                alive=self._alive_view,
                                prune_bound=prune_bound, heur=heur,
+                               on_bulk_push=self._count_bulk_push,
                                stamp=self._generation)
             self.array_traversals += 1
         else:
@@ -1002,6 +1056,18 @@ class LocalVisibilityGraph:
         t = self._traversal(source, prune_bound)
         return t.order(on_advance=self._count_settle)
 
+    def settled_traversal(self, source: int, prune_bound: float = math.inf):
+        """The raw resumable traversal behind :meth:`dijkstra_order`.
+
+        Returns ``(traversal, on_settle)``: hot consumers (CPLC's main
+        loop) walk ``traversal.settled`` / call ``traversal.advance()``
+        directly — same entries in the same order as the generator, minus
+        one generator resume per settled node — and must invoke
+        ``on_settle(entry)`` once per *fresh* advance so the graph's
+        ``nodes_settled`` counter stays identical to the generator path.
+        """
+        return self._traversal(source, prune_bound), self._count_settle
+
     def _count_settle(self, _entry: Tuple[float, int, Optional[int]]) -> None:
         self.nodes_settled += 1
 
@@ -1023,7 +1089,28 @@ class LocalVisibilityGraph:
         """
         remaining = set(targets)
         out = {t: math.inf for t in remaining}
-        for d, node, _pred in self.dijkstra_order(source, prune_bound):
+        # Consume the traversal directly rather than through the
+        # dijkstra_order generator: this loop touches every settled entry
+        # of every warm-corridor Dijkstra, and the generator resume per
+        # entry profiled at several percent of the arm.  Replay-cursor
+        # discipline matches _ReplayCore.order, including the re-check
+        # after an exhausted advance (a concurrent consumer may have
+        # settled the tail between the length check and the locked
+        # advance).
+        tr = self._traversal(source, prune_bound)
+        settled = tr.settled
+        i = 0
+        while True:
+            if i < len(settled):
+                d, node, _pred = settled[i]
+                i += 1
+            else:
+                if tr.advance() is None:
+                    if i < len(settled):
+                        continue
+                    break
+                self.nodes_settled += 1
+                continue
             if d > cutoff:
                 break
             if node in remaining:

@@ -168,6 +168,12 @@ class QueryPlan:
     backend_batched_edges: int = 0
     """Cumulative edge x primitive pairs those launches evaluated
     (``BackendStats.batched_edges_tested``)."""
+    backend_pruned_edges: int = 0
+    """Cumulative edge x primitive pairs the bbox prefilter skipped on the
+    chosen backend (``BackendStats.kernel_pruned_edges``)."""
+    backend_bulk_pushes: int = 0
+    """Cumulative relaxed rows bulk-pushed into the sequence heap on the
+    chosen backend (``BackendStats.heap_bulk_pushes``)."""
     backend_array_traversals: int = 0
     """Cumulative array-engine traversals on the chosen backend at plan
     time (``BackendStats.array_traversals``)."""
@@ -223,6 +229,8 @@ class QueryPlan:
             f"  engine    : {self.engine} "
             f"({self.backend_batch_calls} batch visibility calls, "
             f"{self.backend_batched_edges} batched edges tested, "
+            f"{self.backend_pruned_edges} bbox-pruned, "
+            f"{self.backend_bulk_pushes} bulk heap pushes, "
             f"{self.backend_array_traversals} array traversals so far)",
             f"  parallel  : est. {self.est_parallel_speedup:.2f}x speedup "
             f"on this plan's independent units",
@@ -307,6 +315,8 @@ def _engine_fields(ws: "Workspace", chosen: str) -> dict:
         "engine": cfg.engine if cfg is not None else "array",
         "backend_batch_calls": stats.batch_visibility_calls,
         "backend_batched_edges": stats.batched_edges_tested,
+        "backend_pruned_edges": stats.kernel_pruned_edges,
+        "backend_bulk_pushes": stats.heap_bulk_pushes,
         "backend_array_traversals": stats.array_traversals,
     }
 

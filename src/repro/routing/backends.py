@@ -132,6 +132,8 @@ class VGSession:
         self._settled0 = graph.nodes_settled
         self._batch0 = graph.batch_visibility_calls
         self._edges0 = graph.batched_edges_tested
+        self._pruned0 = graph.kernel_pruned_edges
+        self._bulk0 = graph.heap_bulk_pushes
         self._array0 = graph.array_traversals
         self._closed = False
 
@@ -151,6 +153,9 @@ class VGSession:
     def dijkstra_order(self, source: int, prune_bound: float = math.inf
                        ) -> Iterator[Tuple[float, int, Optional[int]]]:
         return self.graph.dijkstra_order(source, prune_bound)
+
+    def settled_traversal(self, source: int, prune_bound: float = math.inf):
+        return self.graph.settled_traversal(source, prune_bound)
 
     def shortest_distances(self, source: int, targets: Iterable[int],
                            cutoff: float = math.inf,
@@ -216,6 +221,9 @@ class VGSession:
                                     - self._batch0),
             batched_edges_tested=(self.graph.batched_edges_tested
                                   - self._edges0),
+            kernel_pruned_edges=(self.graph.kernel_pruned_edges
+                                 - self._pruned0),
+            heap_bulk_pushes=self.graph.heap_bulk_pushes - self._bulk0,
             array_traversals=self.graph.array_traversals - self._array0,
         )
         # Counters accumulate per session (this graph is exclusively ours

@@ -38,6 +38,15 @@ from typing import (
 
 import numpy as np
 
+from .heap import _MIN_RUN, BulkRowHeap
+
+_SCALAR_RELAX = 8
+"""Row length below which element-wise relaxation beats the vectorized
+compare-and-assign.  Both paths perform the identical float operations in
+the identical order, so the constant — like ``_MIN_RUN`` — is purely a
+performance knob; warm-corridor rows average ~5 improved neighbors, well
+inside it."""
+
 Adjacency = Callable[[int], Mapping[int, float]]
 """Lazily supplied adjacency: node -> {neighbor: edge weight}."""
 
@@ -191,7 +200,15 @@ class ArrayTraversal(_ReplayCore):
     heap's pop sequence is determined by the multiset of pushed ``(d, node)``
     pairs (not their push order), relaxation uses the same strict ``<`` on
     the same IEEE doubles, and each neighbor appears at most once per row so
-    the vectorized compare-and-assign matches the scalar loop exactly.
+    the vectorized compare-and-assign matches the scalar loop exactly.  The
+    frontier is split by row length: short relaxed rows go straight into a
+    plain C-``heapq`` list (per-element pushes are fastest below
+    ``heap._MIN_RUN`` entries), long rows into a
+    :class:`~repro.routing.heap.BulkRowHeap` sequence heap as one sorted
+    run.  Each pop takes the lexicographically smaller of the two tops
+    (ties favor the plain heap — equal pairs are interchangeable), so the
+    combined structure still surfaces the multiset minimum and the settle
+    order stays identical to a single binary heap.
 
     Args:
         rows: flat adjacency callback: node -> ``(indices, weights)``
@@ -204,19 +221,24 @@ class ArrayTraversal(_ReplayCore):
             predicate); neighbors dead at relaxation time are not relaxed.
         prune_bound: goal-directed relaxation pruning, identical in
             semantics to :class:`Traversal`'s (see there).
+        on_bulk_push: optional no-arg hook invoked once per bulk row push
+            (the owner's ``heap_bulk_pushes`` counter).
         stamp: opaque validity token recorded for the owner.
     """
 
     __slots__ = ("_rows", "_alive", "source", "dist", "pred", "settled",
-                 "_heap", "_done", "stamp", "_lock", "prune_bound", "_heur")
+                 "_heap", "_runs", "_done", "stamp", "_lock", "prune_bound",
+                 "_heur", "_on_bulk_push")
 
     def __init__(self, rows: ArrayAdjacency, source: int, size: int,
                  alive: Optional[Callable[[], np.ndarray]] = None,
                  prune_bound: float = math.inf,
                  heur: Optional[np.ndarray] = None,
+                 on_bulk_push: Optional[Callable[[], None]] = None,
                  stamp: Any = None):
         self._rows = rows
         self._alive = alive
+        self._on_bulk_push = on_bulk_push
         self.prune_bound = prune_bound
         self._heur = heur if prune_bound < math.inf else None
         self.source = source
@@ -226,6 +248,7 @@ class ArrayTraversal(_ReplayCore):
         self.pred = np.full(n, -1, dtype=np.int64)
         self.settled: List[SettledEntry] = []
         self._heap: List[Tuple[float, int]] = [(0.0, source)]
+        self._runs = BulkRowHeap()
         self._done = np.zeros(n, dtype=bool)
         self.stamp = stamp
         self._lock = threading.Lock()
@@ -233,7 +256,7 @@ class ArrayTraversal(_ReplayCore):
     @property
     def exhausted(self) -> bool:
         """True when no frontier remains (every reachable node settled)."""
-        return not self._heap
+        return not self._heap and not self._runs
 
     def _grow(self, n: int) -> None:
         old = self.dist.size
@@ -255,8 +278,33 @@ class ArrayTraversal(_ReplayCore):
         """
         with self._lock:
             heap = self._heap
-            while heap:
-                d, node = heapq.heappop(heap)
+            runs = self._runs
+            heappop = heapq.heappop
+            while heap or runs._len:
+                # The run heap's entries are (dist, node, rid) while the
+                # plain heap holds (dist, node): on an exact (dist, node)
+                # tie the longer tuple compares greater, which is the same
+                # "tie favors the plain heap" rule BulkRowHeap.peek gives —
+                # so comparing the raw head entries inline is decision-
+                # identical while skipping two method calls per pop.
+                # _heads/_runs are re-read each pass because push_row may
+                # compact (reassigning both) between pops.
+                if runs._len and (not heap or runs._heads[0] < heap[0]):
+                    rheads = runs._heads
+                    d, node, rid = heappop(rheads)
+                    if rid >= 0:
+                        run = runs._runs[rid]
+                        cursor = run[2] + 1
+                        dl = run[0]
+                        if cursor < len(dl):
+                            run[2] = cursor
+                            heapq.heappush(
+                                rheads, (dl[cursor], run[1][cursor], rid))
+                        else:
+                            del runs._runs[rid]
+                    runs._len -= 1
+                else:
+                    d, node = heappop(heap)
                 if self._done[node]:
                     continue
                 self._done[node] = True
@@ -271,7 +319,30 @@ class ArrayTraversal(_ReplayCore):
                 mask = self._alive() if self._alive is not None else None
                 if mask is not None and mask.size > self.dist.size:
                     self._grow(mask.size)
-                if idx.size:
+                m = idx.size
+                if m:
+                    if m < _SCALAR_RELAX:
+                        # Tiny row: relax element-wise in Python.  Same
+                        # float adds, same comparisons, same push order as
+                        # the vectorized path (heap entries stay native
+                        # floats), but without ~8 numpy dispatches that
+                        # dominate the cost at this size.
+                        il = idx.tolist()
+                        if mask is None:
+                            hi = max(il)
+                            if hi >= self.dist.size:
+                                self._grow(hi + 1)
+                        dist = self.dist
+                        pred = self.pred
+                        push = heapq.heappush
+                        for iv, wv in zip(il, w.tolist()):
+                            dv = d + wv
+                            if dv < dist[iv] and \
+                                    (mask is None or mask[iv]):
+                                dist[iv] = dv
+                                pred[iv] = node
+                                push(heap, (dv, iv))
+                        return entry
                     if mask is None:
                         # No owner mask to size against: bound-check the
                         # row itself.  (With a mask, the owner's mirrors
@@ -289,9 +360,14 @@ class ArrayTraversal(_ReplayCore):
                         vv = nd[improved]
                         self.dist[ii] = vv
                         self.pred[ii] = node
-                        push = heapq.heappush
-                        for item in zip(vv.tolist(), ii.tolist()):
-                            push(heap, item)
+                        if ii.size < _MIN_RUN:
+                            push = heapq.heappush
+                            for dv, iv in zip(vv.tolist(), ii.tolist()):
+                                push(heap, (dv, iv))
+                        else:
+                            runs.push_row(vv, ii)
+                            if self._on_bulk_push is not None:
+                                self._on_bulk_push()
                 return entry
             return None
 

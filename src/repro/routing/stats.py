@@ -68,6 +68,16 @@ class BackendStats:
     """Candidate-edge x obstacle-primitive pairs evaluated inside batched
     kernel launches (the array engine's share of ``visibility_tests``)."""
 
+    kernel_pruned_edges: int = 0
+    """Candidate-edge x primitive pairs the batch kernel's bbox prefilter
+    skipped without evaluating (provably non-blocking: padded AABBs
+    disjoint).  Not counted in ``batched_edges_tested``."""
+
+    heap_bulk_pushes: int = 0
+    """Relaxed adjacency rows long enough to enter the array engine's
+    sequence heap as one sorted run (shorter rows push per-element, which
+    profiles faster below ~16 entries)."""
+
     array_traversals: int = 0
     """Fresh traversals run on the array-backed Dijkstra engine (0 under
     the scalar parity oracle)."""
@@ -107,6 +117,8 @@ class BackendStats:
         self.visibility_tests += other.visibility_tests
         self.batch_visibility_calls += other.batch_visibility_calls
         self.batched_edges_tested += other.batched_edges_tested
+        self.kernel_pruned_edges += other.kernel_pruned_edges
+        self.heap_bulk_pushes += other.heap_bulk_pushes
         self.array_traversals += other.array_traversals
         self.patched += other.patched
         self.evicted += other.evicted

@@ -1,0 +1,181 @@
+"""Numpy piece-table parity with the scalar ``Piece`` loops.
+
+The vectorized envelope paths (``values``, ``min_over``,
+``dominates_challenger``, ``max_endpoint_value``) promise *decision- and
+value-identical* results to the scalar reference loops they replaced:
+every comparison whose vectorized margin falls inside the float screen
+band is re-decided with exact scalar math.  These properties drive both
+paths explicitly — the ``_vec``/``_scalar`` pairs directly, below and
+above the dispatch threshold — so the parity claim is tested, not
+assumed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PiecewiseDistance
+from repro.core.distance_function import _VEC_MIN_PIECES
+from repro.geometry import IntervalSet, Segment
+
+Q = Segment(0.0, 0.0, 100.0, 0.0)
+TS = np.linspace(0.0, 100.0, 173)
+
+coord = st.floats(min_value=-150.0, max_value=150.0, allow_nan=False,
+                  allow_infinity=False)
+base = st.floats(min_value=0.0, max_value=200.0, allow_nan=False,
+                 allow_infinity=False)
+param = st.floats(min_value=-5.0, max_value=105.0, allow_nan=False,
+                  allow_infinity=False)
+
+
+@st.composite
+def distance_functions(draw, owner):
+    cp = (draw(coord), draw(coord))
+    b = draw(base)
+    if draw(st.booleans()):
+        lo = draw(st.floats(min_value=0, max_value=90))
+        hi = draw(st.floats(min_value=lo + 1.0, max_value=100))
+        region = IntervalSet([(lo, hi)])
+    else:
+        region = IntervalSet.full(0.0, Q.length)
+    return PiecewiseDistance.from_region(Q, region, cp, b, owner)
+
+
+@st.composite
+def envelopes(draw, min_fns=4, max_fns=9):
+    """A merged envelope — usually rich enough to cross the vec threshold."""
+    k = draw(st.integers(min_value=min_fns, max_value=max_fns))
+    env = PiecewiseDistance.unknown(Q)
+    for i in range(k):
+        env, _, _ = env.merge_min(draw(distance_functions(i)))
+    return env
+
+
+@st.composite
+def regions(draw):
+    spans = []
+    cursor = 0.0
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        lo = cursor + draw(st.floats(min_value=0.0, max_value=30.0))
+        hi = lo + draw(st.floats(min_value=0.5, max_value=40.0))
+        if lo >= 100.0:
+            break
+        spans.append((lo, min(hi, 100.0)))
+        cursor = hi + 0.5
+    return IntervalSet(spans if spans else [(0.0, 100.0)])
+
+
+class TestPieceTableParity:
+    @given(envelopes())
+    @settings(max_examples=80, deadline=None)
+    def test_values_vec_equals_loop(self, env):
+        # A 2-D parameter array is rejected by the vectorized dispatch, so
+        # reshaping routes the same inputs through the per-piece loop; the
+        # two paths must agree bit for bit (same IEEE operations).
+        vec = env.values(TS)
+        loop = env.values(TS.reshape(1, -1)).ravel()
+        assert np.array_equal(vec, loop)
+
+    @given(envelopes())
+    @settings(max_examples=80, deadline=None)
+    def test_max_endpoint_value_parity(self, env):
+        assert env.max_endpoint_value() == env._max_endpoint_scalar()
+
+    @given(envelopes(), param, param)
+    @settings(max_examples=120, deadline=None)
+    def test_min_over_parity(self, env, a, b):
+        lo, hi = min(a, b), max(a, b)
+        want = env._min_over_scalar(max(lo, 0.0), min(hi, Q.length))
+        if hi < lo or min(hi, Q.length) == max(lo, 0.0):
+            want = (math.inf if hi < lo else env.value(max(lo, 0.0)))
+        assert env.min_over(lo, hi) == want
+
+    @given(envelopes(), regions(), coord, coord, base)
+    @settings(max_examples=150, deadline=None)
+    def test_dominates_challenger_parity(self, env, region, cx, cy, b):
+        vec = env._dominates_vec(region, (cx, cy), b)
+        scalar = env._dominates_scalar(region, (cx, cy), b)
+        assert vec == scalar
+        assert env.dominates_challenger(region, (cx, cy), b) == scalar
+
+    @given(envelopes(), regions(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=80, deadline=None)
+    def test_dominates_exact_tie_parity(self, env, region, k):
+        # Adversarial: the challenger reuses an incumbent control point and
+        # base, forcing exact ties that land squarely in the screen band.
+        finite = [p for p in env.pieces if p.cp is not None]
+        if not finite:
+            return
+        p = finite[k % len(finite)]
+        vec = env._dominates_vec(region, p.cp, p.base)
+        assert vec == env._dominates_scalar(region, p.cp, p.base)
+
+
+class TestTableLifecycle:
+    @given(envelopes(), distance_functions("z"))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_with_cached_table_is_identical(self, env, f):
+        # merge_min reuses the table's cached dist_quadratic coefficients
+        # when a preceding dominance check built it; the merged piece list
+        # must be exactly the one a table-less merge produces.
+        cold = PiecewiseDistance(env.qseg, env.pieces)
+        warm = PiecewiseDistance(env.qseg, env.pieces)
+        warm._table()
+        w_cold, l_cold, c_cold = cold.merge_min(f)
+        w_warm, l_warm, c_warm = warm.merge_min(f)
+        assert c_warm == c_cold
+        assert w_warm.pieces == w_cold.pieces
+        assert l_warm.pieces == l_cold.pieces
+
+    @given(envelopes(), distance_functions("z"))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_result_has_fresh_table(self, env, f):
+        env._table()
+        merged, _, _ = env.merge_min(f)
+        assert merged._tab is None  # new object, never a stale alias
+        tab = merged._table()
+        assert tab.lo.shape[0] == len(merged.pieces)
+        assert np.array_equal(merged.values(TS),
+                              merged.values(TS.reshape(1, -1)).ravel())
+
+    def test_replace_span_result_has_fresh_table(self):
+        env = PiecewiseDistance.unknown(Q)
+        for i, (x, b) in enumerate([(10.0, 1.0), (35.0, 2.0), (60.0, 0.5),
+                                    (80.0, 3.0), (20.0, 1.5), (50.0, 0.2),
+                                    (70.0, 2.5), (90.0, 1.1)]):
+            f = PiecewiseDistance.from_region(
+                Q, IntervalSet.full(0.0, Q.length), (x, 5.0), b, i)
+            env, _, _ = env.merge_min(f)
+        env._table()
+        sub = Segment(30.0, 0.0, 70.0, 0.0)
+        patch = PiecewiseDistance.from_region(
+            sub, IntervalSet.full(0.0, sub.length), (50.0, 1.0), 0.0, "new")
+        spliced = env.replace_span(30.0, 70.0, patch)
+        assert spliced._tab is None
+        assert spliced._table().lo.shape[0] == len(spliced.pieces)
+        # The splice region must evaluate as the patch, the flanks as before.
+        assert spliced.value(50.0) == pytest.approx(1.0)
+        assert spliced.value(5.0) == env.value(5.0)
+
+    def test_dispatch_threshold_consistency(self):
+        # Below the threshold the public entry points run the scalar loops;
+        # the vectorized bodies must still agree when called directly.
+        f = PiecewiseDistance.from_region(
+            Q, IntervalSet([(20.0, 60.0)]), (40.0, 10.0), 2.0, "a")
+        env, _, _ = PiecewiseDistance.unknown(Q).merge_min(f)
+        assert len(env.pieces) < _VEC_MIN_PIECES
+        region = IntervalSet([(10.0, 80.0)])
+        assert env._dominates_vec(region, (40.0, 30.0), 5.0) == \
+            env._dominates_scalar(region, (40.0, 30.0), 5.0)
+        assert env.min_over(15.0, 75.0) == env._min_over_scalar(15.0, 75.0)
+        assert env.max_endpoint_value() == env._max_endpoint_scalar()
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])
