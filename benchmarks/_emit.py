@@ -23,7 +23,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict
 
-DEFAULT_FILE = "BENCH_PR9.json"
+DEFAULT_FILE = "BENCH_PR10.json"
 """Current trajectory artifact name (bumped once per PR, here only)."""
 
 DEFAULT_PATH = Path(__file__).resolve().parent.parent / DEFAULT_FILE

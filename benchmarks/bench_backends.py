@@ -137,14 +137,24 @@ def backend_row(label: str, ws: Workspace, wall: float, reads: int) -> dict:
     }
 
 
-def dump_profile(prof: cProfile.Profile, arm: str, top: int = 25) -> None:
-    """Top-``top`` cumulative-time profile lines for one arm, to stderr.
+def dump_profile(prof: cProfile.Profile, arm: str, top: int = 25,
+                 out: "str | None" = None) -> None:
+    """Top-``top`` cumulative-time profile lines for one arm.
 
-    stderr keeps the dump out of stdout's result tables and out of any
-    shell redirection capturing the benchmark's machine-readable output.
+    By default the dump goes to stderr, which keeps it out of stdout's
+    result tables and out of any shell redirection capturing the
+    benchmark's machine-readable output.  With ``out`` set, each arm's
+    dump is appended to that file instead so CI can upload the profiles
+    as a build artifact rather than losing them in log scrollback.
     """
-    print(f"\n--- profile: {arm} (top {top} by cumulative time) ---",
-          file=sys.stderr)
+    header = f"\n--- profile: {arm} (top {top} by cumulative time) ---"
+    if out:
+        with open(out, "a") as fh:
+            print(header, file=fh)
+            stats = pstats.Stats(prof, stream=fh)
+            stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+        return
+    print(header, file=sys.stderr)
     stats = pstats.Stats(prof, stream=sys.stderr)
     stats.strip_dirs().sort_stats("cumulative").print_stats(top)
 
@@ -166,7 +176,8 @@ def run_repeated(args, backend: str, engine: str = "array",
     wall = time.perf_counter() - started
     if prof is not None:
         prof.disable()
-        dump_profile(prof, label or f"{backend}/{engine}")
+        dump_profile(prof, label or f"{backend}/{engine}",
+                     out=getattr(args, "profile_out", None))
     reads = ws.obstacle_tree.tracker.stats.delta(snap).logical_reads
     row = backend_row("shared" if backend == "shared" else "per-query",
                       ws, wall, reads)
@@ -252,8 +263,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "functions by cumulative time to stderr "
                              "(the walls reported while profiling carry "
                              "tracer overhead — don't gate on them)")
+    parser.add_argument("--profile-out", default=None, metavar="FILE",
+                        help="append each arm's profile dump to FILE "
+                             "instead of stderr (implies --profile); lets "
+                             "CI keep profiles as an artifact")
     add_emit_argument(parser)
     args = parser.parse_args(argv)
+    if args.profile_out:
+        args.profile = True
+        # Arms append as they finish; truncate once so reruns don't stack.
+        open(args.profile_out, "w").close()
 
     failures = []
 

@@ -1,0 +1,402 @@
+#!/usr/bin/env python3
+"""Cold-start and churn cost of the shared visibility-graph backend.
+
+Two matched A/B workloads where graph *lifecycle* — not traversal —
+dominates the difference between the arms:
+
+* **cold** — a 60-query corridor with the shared backend invalidated
+  before every query, so each round pays a full build-to-ready.  The
+  arms differ in exactly one thing, the materialization strategy:
+  arm A cuts every adjacency row in one batched visibility pass
+  (``bulk_build``), arm B walks the rows one kernel launch per node —
+  the per-node path bulk materialization replaced.  The gated wall is
+  the **time-to-ready** (``warm()``) per round; the corridor queries run
+  in both arms so answers can be asserted byte-identical, and their
+  (config-independent) traversal wall is reported separately.
+* **churn** — an interleaved insert/query/remove/query storm against
+  one long-lived shared workspace.  Arm A repairs each removal
+  surgically (delete the obstacle's vertices, re-test only the absent
+  sight-line pairs whose segments cross its padded bbox, keep every
+  unaffected row and traversal memo); arm B is the drop-and-rebuild
+  parity oracle (``removal_repair=False``): every removal evicts the
+  graph and the next ``warm()`` pays a full rebuild.  Both arms use the
+  same bulk build, so the gated **removal-to-ready** wall compares the
+  surgical repair against the *fastest* rebuild the engine has.
+
+Answers are asserted byte-identical between the arms of each workload —
+exact float equality on every interval endpoint, no tolerance — before
+any speedup is reported.  ``--require-speedup`` turns the two headline
+ratios into CI gates.
+
+The scene mixes all three obstacle kinds (rects, wall segments, convex
+polygons): per-node materialization pays at least one kernel launch per
+(row, kind) — and one per (row, polygon) — so mixed scenes are exactly
+where the bulk pass's launch amortization matters most.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_cold_churn.py
+    PYTHONPATH=src python benchmarks/bench_cold_churn.py --require-speedup
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import List, Sequence, Tuple
+
+from _emit import add_emit_argument, emit, emit_scalar
+
+from repro import (
+    ConnQuery,
+    PlannerOptions,
+    PolygonObstacle,
+    RectObstacle,
+    RoutingConfig,
+    Segment,
+    SegmentObstacle,
+    Workspace,
+)
+
+#: Arm A everywhere: bulk build + frontier prefetch + surgical repair.
+DEFAULT_ROUTING = RoutingConfig()
+
+#: Cold arm B: rows cut one launch per node, traversal prefetch off —
+#: the whole per-node materialization engine the bulk pass replaced.
+PER_NODE_ROUTING = RoutingConfig(bulk_build=False, frontier_prefetch=0)
+
+#: Churn arm B: identical config except removals drop the graph — the
+#: drop-and-rebuild parity oracle the surgical repair is checked against.
+REBUILD_ROUTING = RoutingConfig(removal_repair=False)
+
+
+def build_scene(args) -> tuple:
+    """A mixed-kind building lattice plus scattered reachable points."""
+    rng = random.Random(args.seed)
+    side = args.obstacle_side
+    step = (100.0 - 6.0) / side
+    f = args.obstacle_fill
+    obstacles = []
+    for gx in range(side):
+        for gy in range(side):
+            x, y = 3.0 + step * gx, 3.0 + step * gy
+            w, h = f * step, 0.75 * f * step
+            kind = (gx + gy) % 3
+            if kind == 0:
+                obstacles.append(SegmentObstacle(x, y, x + w, y + h))
+            elif kind == 1:
+                obstacles.append(RectObstacle(x, y, x + w, y + h))
+            else:
+                obstacles.append(PolygonObstacle(
+                    [(x, y), (x + w, y), (x + 0.5 * w, y + h)]))
+    points = []
+    while len(points) < args.points:
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        if not any(getattr(o, "contains_interior", lambda *_: False)(x, y)
+                   for o in obstacles):
+            points.append((len(points), (x, y)))
+    return points, obstacles
+
+
+def corridor_queries(args) -> List[ConnQuery]:
+    """Repeated and nearby CONN segments along one corridor."""
+    rng = random.Random(args.seed + 1)
+    queries = []
+    for i in range(args.queries):
+        y = 50.0 + rng.uniform(-4.0, 4.0)
+        ax = rng.uniform(5.0, 25.0)
+        queries.append(ConnQuery(Segment(ax, y, ax + rng.uniform(25, 55), y),
+                                 label=f"corridor-{i}"))
+    return queries
+
+
+def churn_script(args, points) -> List[Tuple]:
+    """Deterministic (obstacle, query-after-insert, query-after-remove)
+    rounds near the corridor, shared verbatim by both arms."""
+    rng = random.Random(args.seed + 5)
+    rounds = []
+    for i in range(args.churn_rounds):
+        while True:
+            x = rng.uniform(15.0, 75.0)
+            y = 50.0 + rng.uniform(-8.0, 6.0)
+            obstacle = RectObstacle(x, y, x + rng.uniform(1.0, 3.0),
+                                    y + rng.uniform(1.0, 3.0))
+            if not any(obstacle.contains_interior(px, py)
+                       for _, (px, py) in points):
+                break
+        queries = []
+        for tag in ("in", "out"):
+            qy = 50.0 + rng.uniform(-4.0, 4.0)
+            qx = rng.uniform(5.0, 25.0)
+            queries.append(ConnQuery(
+                Segment(qx, qy, qx + rng.uniform(25, 55), qy),
+                label=f"churn-{i}-{tag}"))
+        rounds.append((obstacle, queries[0], queries[1]))
+    return rounds
+
+
+def exact_snapshot(results) -> list:
+    """Byte-exact view of answers: owners and *unrounded* interval
+    endpoints, so arm comparison is genuine float equality."""
+    return [[(owner, lo, hi) for owner, (lo, hi) in res.tuples()]
+            for res in results]
+
+
+def arm_row(label: str, ws: Workspace, ready_wall: float,
+            query_wall: float) -> dict:
+    stats = ws.routing.stats
+    return {
+        "label": label,
+        "builds": stats.graphs_built,
+        "evicted": stats.evicted,
+        "invalidations": stats.invalidations,
+        "bulk_rows": stats.rows_bulk_materialized,
+        "bulk_launches": stats.bulk_pair_launches,
+        "repairs": stats.removal_repairs,
+        "repair_retests": stats.repair_retested_pairs,
+        "batch_calls": stats.batch_visibility_calls,
+        "ready_wall_s": ready_wall,
+        "query_wall_s": query_wall,
+        "e2e_wall_s": ready_wall + query_wall,
+    }
+
+
+def make_workspace(args, routing: RoutingConfig) -> Workspace:
+    points, obstacles = build_scene(args)
+    ws = Workspace.from_points(points, obstacles, page_size=args.page_size,
+                               planner=PlannerOptions(backend="shared"),
+                               routing=routing)
+    ws.prefetch_all()  # both arms measure graph work, never page I/O
+    return ws
+
+
+def run_cold(args, routing: RoutingConfig, label: str) -> dict:
+    """Every round: invalidate, time warm-to-ready, then run the query.
+
+    The gated wall is the materialization (``warm()``) time; the query
+    wall is traversal on an already-ready backend, identical machinery
+    in both arms, and is reported separately.
+    """
+    ws = make_workspace(args, routing)
+    queries = corridor_queries(args)
+    ws.routing.warm()
+    ws.execute(queries[0])  # interpreter/cache warmup; not measured
+    ready_wall = query_wall = 0.0
+    answers = []
+    for q in queries:
+        ws.routing.invalidate()
+        t0 = time.perf_counter()
+        ws.routing.warm()
+        ready_wall += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        answers.append(ws.execute(q))
+        query_wall += time.perf_counter() - t0
+    row = arm_row(label, ws, ready_wall, query_wall)
+    row["answers"] = exact_snapshot(answers)
+    return row
+
+
+def run_churn(args, routing: RoutingConfig, label: str) -> dict:
+    """Interleaved insert/query/remove/query storm on one workspace.
+
+    The gated wall is removal-to-ready: the removal itself plus the
+    ``warm()`` that restores a fully materialized backend (a surgical
+    repair leaves it ready; a drop forces a complete rebuild).  Each
+    insert is followed by a ``warm()`` in *both* arms — identical
+    machinery, reported as the insert wall — so the removal wall starts
+    from a fully current graph and measures only removal work.
+    """
+    ws = make_workspace(args, routing)
+    points, _ = build_scene(args)
+    rounds = churn_script(args, points)
+    ws.routing.warm()
+    ws.execute(corridor_queries(args)[0])  # warmup; not measured
+    ready_wall = query_wall = insert_wall = 0.0
+    answers = []
+    for obstacle, q_in, q_out in rounds:
+        t0 = time.perf_counter()
+        ws.add_obstacle(obstacle)
+        ws.routing.warm()
+        insert_wall += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        answers.append(ws.execute(q_in))
+        query_wall += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        if not ws.remove_obstacle(obstacle):
+            raise AssertionError("churn removal lost its obstacle")
+        ws.routing.warm()
+        ready_wall += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        answers.append(ws.execute(q_out))
+        query_wall += time.perf_counter() - t0
+    row = arm_row(label, ws, ready_wall, query_wall)
+    row["insert_wall_s"] = insert_wall
+    row["answers"] = exact_snapshot(answers)
+    return row
+
+
+def first_mismatch(a: list, b: list) -> "int | None":
+    """Index of the first non-identical answer, or None when byte-equal."""
+    for i, (ra, rb) in enumerate(zip(a, b)):
+        if ra != rb:
+            return i
+    if len(a) != len(b):
+        return min(len(a), len(b))
+    return None
+
+
+def best_of(args, runner, routing_a, routing_b, label_a, label_b):
+    """Interleaved best-of-N for one workload; returns (arm_a, arm_b).
+
+    Alternating the arms keeps a machine-load drift from landing
+    entirely on one config and skewing the ratio.  Best is taken on the
+    gated (ready) wall.
+    """
+    best_a = best_b = None
+    for _ in range(max(1, args.repeats)):
+        a = runner(args, routing_a, label_a)
+        b = runner(args, routing_b, label_b)
+        if best_a is None or a["ready_wall_s"] < best_a["ready_wall_s"]:
+            best_a = a
+        if best_b is None or b["ready_wall_s"] < best_b["ready_wall_s"]:
+            best_b = b
+    return best_a, best_b
+
+
+def print_table(title: str, rows: Sequence[dict]) -> None:
+    print(f"\n{title}")
+    print(f"  {'arm':>10}  {'builds':>6}  {'bulk rows':>9}  "
+          f"{'launches':>8}  {'repairs':>7}  {'retests':>7}  "
+          f"{'ready s':>8}  {'query s':>8}")
+    for r in rows:
+        print(f"  {r['label']:>10}  {r['builds']:>6}  {r['bulk_rows']:>9}  "
+              f"{r['bulk_launches']:>8}  {r['repairs']:>7}  "
+              f"{r['repair_retests']:>7}  {r['ready_wall_s']:>8.3f}  "
+              f"{r['query_wall_s']:>8.3f}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Cold build-to-ready and removal-to-ready cost, "
+                    "bulk/repair engine vs per-node / drop-and-rebuild.")
+    parser.add_argument("--points", type=int, default=50)
+    parser.add_argument("--obstacle-side", type=int, default=7,
+                        help="buildings per axis (side^2 obstacles, "
+                             "kinds cycling rect/segment/polygon)")
+    parser.add_argument("--obstacle-fill", type=float, default=0.5,
+                        help="obstacle footprint as a fraction of the "
+                             "lattice step")
+    parser.add_argument("--queries", type=int, default=60,
+                        help="cold-arm corridor queries (one backend "
+                             "build each)")
+    parser.add_argument("--churn-rounds", type=int, default=20,
+                        help="insert/query/remove/query rounds in the "
+                             "churn arm")
+    parser.add_argument("--page-size", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="interleaved repetitions per workload; the "
+                             "best ready-wall per arm is reported")
+    parser.add_argument("--require-speedup", action="store_true",
+                        help="fail unless cold >= --cold-target and "
+                             "churn >= --churn-target (CI smoke guard)")
+    parser.add_argument("--cold-target", type=float, default=2.0)
+    parser.add_argument("--churn-target", type=float, default=3.0)
+    add_emit_argument(parser)
+    args = parser.parse_args(argv)
+
+    failures = []
+
+    cold_a, cold_b = best_of(args, run_cold, DEFAULT_ROUTING,
+                             PER_NODE_ROUTING, "bulk", "per-node")
+    print_table(f"Cold builds — {args.queries} corridor queries, backend "
+                f"invalidated and re-warmed before each", (cold_a, cold_b))
+    bad = first_mismatch(cold_a["answers"], cold_b["answers"])
+    if bad is not None:
+        failures.append(f"cold arms disagree at query {bad} "
+                        f"(answers must be byte-identical)")
+    if cold_a["builds"] <= args.queries:
+        failures.append(f"cold arm reused a graph across invalidations "
+                        f"({cold_a['builds']} builds <= {args.queries})")
+    if cold_a["bulk_rows"] == 0:
+        failures.append("bulk arm materialized no rows in bulk")
+    if cold_b["bulk_rows"] != 0:
+        failures.append("per-node arm used the bulk path")
+    cold_speedup = (cold_b["ready_wall_s"] / cold_a["ready_wall_s"]
+                    if cold_a["ready_wall_s"] > 0 else float("inf"))
+    cold_e2e = (cold_b["e2e_wall_s"] / cold_a["e2e_wall_s"]
+                if cold_a["e2e_wall_s"] > 0 else float("inf"))
+    print(f"\n  bulk materialization build-to-ready speedup: "
+          f"{cold_speedup:.2f}x ({cold_a['bulk_rows']} rows in "
+          f"{cold_a['bulk_launches']} bulk launches vs "
+          f"{cold_b['batch_calls']} per-node kernel calls; "
+          f"end-to-end incl. identical traversal {cold_e2e:.2f}x)")
+
+    churn_a, churn_b = best_of(args, run_churn, DEFAULT_ROUTING,
+                               REBUILD_ROUTING, "repair", "rebuild")
+    print_table(f"Removal churn — {args.churn_rounds} insert/query/remove/"
+                f"query rounds, one shared workspace", (churn_a, churn_b))
+    bad = first_mismatch(churn_a["answers"], churn_b["answers"])
+    if bad is not None:
+        failures.append(f"churn arms disagree at answer {bad} "
+                        f"(answers must be byte-identical)")
+    if churn_a["repairs"] < args.churn_rounds:
+        failures.append(f"repair arm fell back to eviction "
+                        f"({churn_a['repairs']} repairs < "
+                        f"{args.churn_rounds} removals)")
+    if churn_b["repairs"] != 0:
+        failures.append("rebuild arm repaired instead of dropping")
+    churn_speedup = (churn_b["ready_wall_s"] / churn_a["ready_wall_s"]
+                     if churn_a["ready_wall_s"] > 0 else float("inf"))
+    churn_e2e = (churn_b["e2e_wall_s"] / churn_a["e2e_wall_s"]
+                 if churn_a["e2e_wall_s"] > 0 else float("inf"))
+    print(f"\n  surgical repair removal-to-ready speedup: "
+          f"{churn_speedup:.2f}x ({churn_a['repairs']} repairs retested "
+          f"{churn_a['repair_retests']} pairs; rebuild arm built "
+          f"{churn_b['builds']} graphs; end-to-end incl. identical "
+          f"traversal {churn_e2e:.2f}x)")
+
+    if args.require_speedup:
+        if cold_speedup < args.cold_target:
+            failures.append(f"cold speedup {cold_speedup:.2f}x below "
+                            f"required {args.cold_target:.2f}x")
+        if churn_speedup < args.churn_target:
+            failures.append(f"churn speedup {churn_speedup:.2f}x below "
+                            f"required {args.churn_target:.2f}x")
+
+    def strip(row: dict) -> dict:
+        return {k: v for k, v in row.items() if k != "answers"}
+
+    emit("bench_cold_churn", {
+        "workload": {"queries": args.queries,
+                     "churn_rounds": args.churn_rounds,
+                     "points": args.points,
+                     "obstacles": args.obstacle_side ** 2,
+                     "obstacle_fill": args.obstacle_fill,
+                     "repeats": args.repeats,
+                     "seed": args.seed},
+        "cold": {"bulk": strip(cold_a), "per_node": strip(cold_b),
+                 "ready_speedup": round(cold_speedup, 3),
+                 "e2e_speedup": round(cold_e2e, 3)},
+        "churn": {"repair": strip(churn_a), "rebuild": strip(churn_b),
+                  "ready_speedup": round(churn_speedup, 3),
+                  "e2e_speedup": round(churn_e2e, 3)},
+    }, path=args.emit)
+    emit_scalar("cold_build_speedup", round(cold_speedup, 3),
+                path=args.emit)
+    emit_scalar("churn_repair_speedup", round(churn_speedup, 3),
+                path=args.emit)
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: all arms agree byte-identically; lifecycle gates hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

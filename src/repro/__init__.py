@@ -128,7 +128,7 @@ from .obstacles import (
     visible_region,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AddObstacle",

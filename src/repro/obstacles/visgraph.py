@@ -43,14 +43,25 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
 from ..geometry.interval import IntervalSet
 from ..geometry.point import Point
+from ..geometry.predicates import EPS
 from ..geometry.segment import Segment
 from ..geometry.vectorized import (
+    BATCH_TILE_ELEMS,
     blocked_batch,
     crosses_convex_polygon,
     crosses_rect_interior,
@@ -64,6 +75,32 @@ from .shadow import shadow_set, visible_region
 
 _MAX_TRAVERSAL_MEMO = 64
 """Memoized shortest-path trees kept per graph (oldest dropped first)."""
+
+
+def _segment_hits_box(vx: float, vy: float, tx, ty,
+                      xlo: float, ylo: float, xhi: float, yhi: float):
+    """Slab clip: do segments ``(vx, vy) -> (tx[i], ty[i])`` cross the box?
+
+    ``tx`` / ``ty`` broadcast (arrays or scalars); returns a boolean of
+    their shape.  Used by removal repair to keep only absent pairs the
+    removed obstacle could actually have been blocking: a blocking
+    decision implies the sight segment runs through the obstacle, hence
+    through its mbr — and the box arrives pre-padded by the kernel
+    tolerance bound, which also dominates this clip's own rounding.  Zero
+    direction components are replaced by a denormal so the slab division
+    yields correctly signed infinities instead of NaNs.
+    """
+    dx = tx - vx
+    dy = ty - vy
+    dxs = np.where(dx == 0.0, 1e-300, dx)
+    dys = np.where(dy == 0.0, 1e-300, dy)
+    t1 = (xlo - vx) / dxs
+    t2 = (xhi - vx) / dxs
+    u1 = (ylo - vy) / dys
+    u2 = (yhi - vy) / dys
+    lo = np.maximum(np.minimum(t1, t2), np.minimum(u1, u2))
+    hi = np.minimum(np.maximum(t1, t2), np.maximum(u1, u2))
+    return np.maximum(lo, 0.0) <= np.minimum(hi, 1.0)
 
 
 class LocalVisibilityGraph:
@@ -82,17 +119,31 @@ class LocalVisibilityGraph:
             visibility kernel, and traverses on the array-backed Dijkstra;
             ``"scalar"`` keeps the original dict-of-dict rows and scalar
             traversal as the byte-identical parity oracle.
+        prefetch: frontier-prefetch wave width.  When an array traversal
+            settles a node whose row is missing, up to this many frontier
+            rows (nearest first) materialize in one batched pass via
+            :meth:`materialize_rows`; ``0``/``1`` keeps one launch per
+            settle.  Row content and settle order are unchanged.
     """
 
     def __init__(self, qseg: Optional[Segment] = None,
                  obstacles: Optional[Iterable[Obstacle]] = None,
-                 engine: str = ARRAY_ENGINE):
+                 engine: str = ARRAY_ENGINE, prefetch: int = 0,
+                 bulk_build: bool = True):
         if engine not in (ARRAY_ENGINE, SCALAR_ENGINE):
             raise ValueError(f"unknown visibility-graph engine {engine!r}")
         self.engine = engine
+        self.frontier_prefetch = prefetch
+        # Eager warmups (build_all) cut all missing rows in one batched
+        # pass when set; cleared, they walk the per-node path — the
+        # parity oracle the bulk path must match byte-for-byte.
+        self.bulk_build = bulk_build
         self.qseg = qseg
         self.obstacles = ObstacleSet()
         self._obstacle_keys: Set[Obstacle] = set()
+        # obstacle -> the node ids its vertices registered as, so removal
+        # repair can delete exactly that obstacle's own nodes.
+        self._obstacle_nodes: Dict[Obstacle, List[int]] = {}
         self._xy: List[Tuple[float, float]] = []
         self._alive: List[bool] = []
         self._transient: List[bool] = []
@@ -164,6 +215,10 @@ class LocalVisibilityGraph:
         self.kernel_pruned_edges = 0
         self.heap_bulk_pushes = 0
         self.array_traversals = 0
+        self.rows_bulk_materialized = 0
+        self.bulk_pair_launches = 0
+        self.removal_repairs = 0
+        self.repair_retested_pairs = 0
         # (rect rows, seg rows) watermark -> primitive-bounds slabs for the
         # batch kernel's bbox prefilter; obstacle arrays are append-only,
         # so the count pair keys validity.
@@ -393,6 +448,8 @@ class LocalVisibilityGraph:
         # row died with it, so the stale entry is inert) — drop those.
         self._mentions = {remap[v]: {remap[u] for u in holders if u in remap}
                           for v, holders in self._mentions.items()}
+        self._obstacle_nodes = {o: [remap[i] for i in ids]
+                                for o, ids in self._obstacle_nodes.items()}
         if self.S >= 0:
             self.S = remap[self.S]
             self.E = remap[self.E]
@@ -427,9 +484,13 @@ class LocalVisibilityGraph:
             raise RuntimeError("clone_skeleton needs an unbound graph; "
                                "unbind() first")
         self.compact()
-        clone = LocalVisibilityGraph(engine=self.engine)
+        clone = LocalVisibilityGraph(engine=self.engine,
+                                     prefetch=self.frontier_prefetch,
+                                     bulk_build=self.bulk_build)
         clone.obstacles = ObstacleSet(self.obstacles)
         clone._obstacle_keys = set(self._obstacle_keys)
+        clone._obstacle_nodes = {o: list(ids)
+                                 for o, ids in self._obstacle_nodes.items()}
         clone._xy = list(self._xy)
         clone._alive = list(self._alive)
         clone._transient = list(self._transient)
@@ -469,9 +530,281 @@ class LocalVisibilityGraph:
         self.obstacles.add_many(batch)
         self._struct_epoch += 1
         for o in batch:
-            for vx, vy in o.vertices():
+            self._obstacle_nodes[o] = [
                 self._new_node(vx, vy, transient=False)
+                for vx, vy in o.vertices()]
         return len(batch)
+
+    def remove_obstacle(self, obstacle: Obstacle) -> Optional[int]:
+        """Surgically delete ``obstacle``, repairing cached state in place.
+
+        Removal only *adds* visibility: a cached row entry was visible
+        despite the obstacle, so it stays visible without it — nothing
+        currently cached becomes wrong.  The only repair needed is
+        re-opening sight lines the obstacle alone was blocking, and every
+        such absent pair's segment must overlap the obstacle's bbox padded
+        by the kernels' tolerance bound (a blocking decision implies a
+        crossing point on the segment inside the padded box — the same
+        bound the batch kernel's bbox prefilter relies on).  So the repair
+
+        1. brings stale cached rows current (obstacle counts are still
+           monotone until the deletion lands),
+        2. deletes the obstacle's own vertices (their rows, columns and
+           mentions die with them) and scrubs them from surviving rows,
+        3. re-tests, in one batched launch, exactly the absent
+           (row, candidate) pairs whose sight segment's bbox overlaps the
+           removed obstacle's padded bbox, appending the newly visible
+           ones, and
+        4. normalizes every surviving row's watermark to the post-removal
+           counts (removal breaks count monotonicity; normalization
+           restores it for everything cached).
+
+        Count-keyed side caches that cannot be normalized in place
+        (visible regions — lazy narrowing cannot widen — transient
+        visibility columns, primitive bounds) are dropped and recompute
+        lazily.  Memoized traversals survive when the repair re-opened
+        nothing and they never reached a deleted node; everything else
+        invalidates via the generation bump.
+
+        Returns:
+            The number of absent pairs re-tested, or ``None`` when the
+            obstacle is not resident (nothing referenced it; the graph is
+            already correct without repair).
+        """
+        if obstacle not in self._obstacle_keys:
+            return None
+        # (1) Stale rows must repair against the *pre-removal* obstacle
+        # arrays: their recorded counts index into those arrays.
+        if self.engine == ARRAY_ENGINE:
+            self._refresh_rows_bulk()
+        else:
+            for v in list(self._rows):
+                if self._alive[v]:
+                    self.neighbors(v)
+        mbr = obstacle.mbr()
+        removed = self._obstacle_nodes.pop(obstacle, [])
+        removed_set = set(removed)
+        self._obstacle_keys.discard(obstacle)
+        self.obstacles.remove(obstacle)
+        # (2) The obstacle's own nodes die; their cached state goes with
+        # them.  Stale holder ids left behind in _mentions are inert (the
+        # dead row is never read), same as compact() documents.
+        for nid in removed:
+            self._alive[nid] = False
+            self._alive_np[nid] = False
+            self._rows.pop(nid, None)
+            self._indptr.pop(nid, None)
+            self._row_marks.pop(nid, None)
+            self._row_epochs.pop(nid, None)
+            self._mentions.pop(nid, None)
+            self._traversals.pop(nid, None)
+        if removed_set:
+            self._perm_ids = [i for i in self._perm_ids
+                              if i not in removed_set]
+        self._cols.clear()
+        self._tblock = None
+        self._vr_cache.clear()
+        self._bounds_cache = None
+        # (3) + (4)
+        generation_was = self._generation
+        retested, reopened = self._reopen_rows(removed_set, mbr)
+        self.removal_repairs += 1
+        self.repair_retested_pairs += retested
+        # A memoized traversal's tree is untouched iff no sight line
+        # re-opened (edge set of survivors unchanged) and it never relaxed
+        # a now-deleted node (dist through one would be stale).
+        survivors: List[Traversal] = []
+        if reopened == 0:
+            for src, t in self._traversals.items():
+                if t.stamp != generation_was:
+                    continue
+                if isinstance(t, ArrayTraversal):
+                    ids = [r for r in removed_set if r < t.dist.size]
+                    reached = bool(ids) and bool(
+                        np.isfinite(t.dist[np.asarray(ids)]).any())
+                else:
+                    reached = any(r in t.dist for r in removed_set)
+                if not reached:
+                    survivors.append(t)
+        self._struct_epoch += 1
+        epoch = self._struct_epoch
+        for v in (self._indptr if self.engine == ARRAY_ENGINE
+                  else self._rows):
+            self._row_epochs[v] = epoch
+        self._generation += 1
+        for t in survivors:
+            t.stamp = self._generation
+        return retested
+
+    def _reopen_rows(self, removed_set: Set[int],
+                     mbr) -> Tuple[int, int]:
+        """Scrub deleted nodes from cached rows and re-open sight lines.
+
+        Every cached row is already current (pre-removal counts); this
+        re-tests, against the post-removal obstacle set, the absent pairs
+        whose sight segment actually crosses ``mbr`` padded by the kernel
+        tolerance bound (a slab clip, not just bbox overlap — a pair the
+        removed obstacle blocked must run through its padded box, while
+        most absent pairs in a dense scene merely *span* it), and stamps
+        all rows with the post-removal watermark.
+
+        Returns:
+            ``(pairs re-tested, pairs re-opened)``.
+        """
+        n = len(self._xy)
+        if n == 0:
+            return 0, 0
+        coords = self._coords_np[:n]
+        # The pad must dominate the kernels' tolerant comparisons for any
+        # pair we filter; a scale over *all* alive coordinates bounds every
+        # per-pair scale blocked_batch would have used.
+        alive = self._alive_np[:n]
+        scale = 1.0
+        if alive.any():
+            scale += float(np.abs(coords[alive]).max())
+        pad = 8.0 * EPS * scale
+        xlo, ylo = mbr.xlo - pad, mbr.ylo - pad
+        xhi, yhi = mbr.xhi + pad, mbr.yhi + pad
+        mark_now = (self._array_mark() if self.engine == ARRAY_ENGINE
+                    else self._current_mark())
+        hypot = math.hypot
+        xy = self._xy
+        if self.engine == ARRAY_ENGINE:
+            removed_np = (np.fromiter(removed_set, dtype=np.int64)
+                          if removed_set else np.empty(0, dtype=np.int64))
+            cand_all = np.nonzero(alive & ~self._transient_np[:n])[0]
+            rows_list = list(self._indptr)
+            nrows = len(rows_list)
+            if nrows == 0:
+                return 0, 0
+            rows_arr = np.asarray(rows_list, dtype=np.int64)
+
+            def _slab_snapshot():
+                spans = np.asarray([self._indptr[v] for v in rows_list],
+                                   dtype=np.int64).reshape(nrows, 2)
+                lens = spans[:, 1] - spans[:, 0]
+                if int(lens.sum()):
+                    ids = np.concatenate(
+                        [self._indices[s:e] for s, e in spans])
+                else:
+                    ids = np.empty(0, dtype=np.int64)
+                return lens, ids
+
+            lens, idsall = _slab_snapshot()
+            # Scrub deleted targets: one membership pass over the whole
+            # slab finds the rows that lost entries; only those compact.
+            if removed_np.size and idsall.size:
+                gone = np.isin(idsall, removed_np)
+                if gone.any():
+                    row_rep = np.repeat(np.arange(nrows), lens)
+                    lost = np.bincount(row_rep[gone], minlength=nrows)
+                    starts = np.zeros(nrows + 1, dtype=np.int64)
+                    np.cumsum(lens, out=starts[1:])
+                    for ri in np.nonzero(lost)[0].tolist():
+                        v = rows_list[ri]
+                        s, e = self._indptr[v]
+                        keep = ~gone[starts[ri]:starts[ri + 1]]
+                        k = int(keep.sum())
+                        self._indices[s:s + k] = self._indices[s:e][keep]
+                        self._weights[s:s + k] = self._weights[s:e][keep]
+                        self._indptr[v] = (s, s + k)
+                    lens, idsall = _slab_snapshot()
+            # Absent pairs in one scatter: presence[r, c] marks cached
+            # entries, the row's own id and non-candidates are masked, the
+            # rest is exactly the setdiff the per-row path computed —
+            # row-major nonzero keeps each row's candidates ascending,
+            # matching the sorted order setdiff1d produced.
+            pres = np.zeros((nrows, n), dtype=bool)
+            if idsall.size:
+                pres[np.repeat(np.arange(nrows), lens), idsall] = True
+            base = np.zeros(n, dtype=bool)
+            base[cand_all] = True
+            absent = ~pres
+            absent &= base[None, :]
+            absent[np.arange(nrows), rows_arr] = False
+            ri, ci = np.nonzero(absent)
+            # Keep only pairs whose sight segment crosses the removed
+            # obstacle's padded box (the slab clip); everything else
+            # cannot have been blocked by it alone.
+            if ri.size:
+                hit = _segment_hits_box(coords[rows_arr[ri], 0],
+                                        coords[rows_arr[ri], 1],
+                                        coords[ci, 0], coords[ci, 1],
+                                        xlo, ylo, xhi, yhi)
+                ri, ci = ri[hit], ci[hit]
+            for v in rows_list:
+                self._row_marks[v] = mark_now
+            retested = int(ri.size)
+            reopened = 0
+            if retested:
+                # Early-terminating bulk launch: most retested pairs are
+                # still blocked by some surviving obstacle and drop out
+                # after the first chunk or two.  (_blocked_bulk ticks the
+                # batch counters itself.)
+                blocked = self._blocked_bulk(coords[rows_arr[ri]],
+                                             coords[ci])
+                self.bulk_pair_launches += 1
+                ok = ~blocked
+                ri2, ci2 = ri[ok], ci[ok]
+                reopened = int(ri2.size)
+                if reopened:
+                    edges = np.searchsorted(ri2, np.arange(nrows + 1))
+                    for rix in np.unique(ri2).tolist():
+                        v = rows_list[rix]
+                        vis = ci2[edges[rix]:edges[rix + 1]]
+                        vx, vy = xy[v]
+                        add_w = np.empty(vis.size, dtype=np.float64)
+                        for j, i in enumerate(vis.tolist()):
+                            tx, ty = xy[i]
+                            add_w[j] = hypot(vx - tx, vy - ty)
+                        s, e = self._indptr[v]
+                        self._row_write(
+                            v,
+                            np.concatenate([self._indices[s:e],
+                                            vis.astype(np.int64,
+                                                       copy=False)]),
+                            np.concatenate([self._weights[s:e], add_w]))
+            return retested, reopened
+        # Scalar oracle: same repair, dict rows (transient targets join the
+        # candidate set — scalar rows carry them inline).
+        retested = reopened = 0
+        srcs: List[int] = []
+        tgts: List[int] = []
+        for v in list(self._rows):
+            row = self._rows[v]
+            for r in removed_set:
+                row.pop(r, None)
+            vx, vy = xy[v]
+            for u in range(n):
+                if (u == v or not self._alive[u] or u in row):
+                    continue
+                tx, ty = xy[u]
+                if bool(_segment_hits_box(vx, vy, np.float64(tx),
+                                          np.float64(ty),
+                                          xlo, ylo, xhi, yhi)):
+                    srcs.append(v)
+                    tgts.append(u)
+            self._row_marks[v] = mark_now
+        retested = len(srcs)
+        if retested:
+            tgt_idx = np.asarray(tgts, dtype=np.int64)
+            tally = {}
+            blocked = blocked_batch(
+                coords[np.asarray(srcs, dtype=np.int64)], coords[tgt_idx],
+                self.obstacles.rects, self.obstacles.segs,
+                self.obstacles.polys,
+                bounds=self._prim_bounds(), tally=tally)
+            self._count_batch(retested, self._prims_now(), tally)
+            self.bulk_pair_launches += 1
+            for v, u, dead in zip(srcs, tgts, blocked.tolist()):
+                if not dead:
+                    reopened += 1
+                    vx, vy = xy[v]
+                    tx, ty = xy[u]
+                    self._rows[v][u] = hypot(vx - tx, vy - ty)
+                    if self._transient[u]:
+                        self._mentions.setdefault(u, set()).add(v)
+        return retested, reopened
 
     # ------------------------------------------------------------ adjacency
     def _current_mark(self) -> Tuple[int, int, int, int]:
@@ -783,6 +1116,384 @@ class LocalVisibilityGraph:
                 self._row_write(node, merged_idx, merged_w)
         self._row_marks[node] = mark_now
 
+    # ------------------------------------------------------- adjacency (bulk)
+    def _blocked_bulk(self, sources: np.ndarray,
+                      targets: np.ndarray) -> np.ndarray:
+        """Early-terminating bulk visibility: blocked mask over M pairs.
+
+        The bulk counterpart of one full :func:`blocked_batch` launch,
+        organized for dense scenes: primitives are processed in chunks
+        ordered nearest-the-pair-cloud-first, and pairs already proven
+        blocked drop out of every later chunk.  A sight line crossed by
+        many obstacles — the common case in a lattice — is decided by the
+        first chunk or two instead of being broadcast against the whole
+        primitive set, so the effective element count is far below
+        ``M x N``.  Blocking is a union over primitives and the kernels
+        are elementwise, so the mask is bit-identical to the unchunked
+        launch; chunking (like tiling) only changes the cost.
+
+        Accounts one batched-call tick with everything not evaluated by a
+        kernel (bbox-pruned or dropped by early termination) counted as
+        pruned.  Callers still tick :attr:`bulk_pair_launches` once per
+        logical bulk pass.
+        """
+        m = sources.shape[0]
+        blocked = np.zeros(m, dtype=bool)
+        if m == 0:
+            return blocked
+        rects = self.obstacles.rects
+        segs = self.obstacles.segs
+        polys = self.obstacles.polys
+        rb, sb = self._prim_bounds()
+        n_r = rects.shape[0] if rects.size else 0
+        n_s = segs.shape[0] if segs.size else 0
+        sx_all = np.ascontiguousarray(sources[:, 0])
+        sy_all = np.ascontiguousarray(sources[:, 1])
+        tx_all = np.ascontiguousarray(targets[:, 0])
+        ty_all = np.ascontiguousarray(targets[:, 1])
+        # Pair bboxes and the prune pad are computed once up front; the
+        # per-chunk work below is only the overlap join, the gather, and
+        # the kernel itself.  The pad scales eps by the whole batch's
+        # coordinate magnitude, which bounds every per-pair scale, so the
+        # prune stays sound (same argument as blocked_batch's own).
+        exlo = np.minimum(sx_all, tx_all)
+        exhi = np.maximum(sx_all, tx_all)
+        eylo = np.minimum(sy_all, ty_all)
+        eyhi = np.maximum(sy_all, ty_all)
+        scale = 1.0 + max(float(np.abs(sources).max()),
+                          float(np.abs(targets).max()))
+        pad = 8.0 * EPS * scale
+        cx = 0.5 * (float(sx_all.mean()) + float(tx_all.mean()))
+        cy = 0.5 * (float(sy_all.mean()) + float(ty_all.mean()))
+
+        def _near_first(pb: np.ndarray) -> np.ndarray:
+            px = 0.5 * (pb[:, 0] + pb[:, 2])
+            py = 0.5 * (pb[:, 1] + pb[:, 3])
+            return np.argsort((px - cx) ** 2 + (py - cy) ** 2,
+                              kind="stable")
+
+        kinds = []
+        if n_r:
+            kinds.append((crosses_rect_interior, rects, rb,
+                          _near_first(rb[:n_r])))
+        if n_s:
+            kinds.append((proper_cross_segments, segs, sb,
+                          _near_first(sb[:n_s])))
+        alive = np.arange(m)
+        tested = 0
+        for kernel, prims, pb, order in kinds:
+            pos = 0
+            axlo = exlo[:, None]
+            axhi = exhi[:, None]
+            aylo = eylo[:, None]
+            ayhi = eyhi[:, None]
+            while pos < order.size and alive.size:
+                if alive.size < m:
+                    axlo = exlo[alive, None]
+                    axhi = exhi[alive, None]
+                    aylo = eylo[alive, None]
+                    ayhi = eyhi[alive, None]
+                chunk = max(8, BATCH_TILE_ELEMS // alive.size)
+                sel = order[pos:pos + chunk]
+                pos += chunk
+                boxes = pb[sel]
+                overlap = axlo <= boxes[None, :, 2] + pad
+                overlap &= axhi >= boxes[None, :, 0] - pad
+                overlap &= aylo <= boxes[None, :, 3] + pad
+                overlap &= ayhi >= boxes[None, :, 1] - pad
+                ei, oi = overlap.nonzero()
+                if not ei.size:
+                    continue
+                tested += ei.size
+                pi = alive[ei]
+                sub = prims[sel[oi]]
+                pair_hit = kernel(sx_all[pi], sy_all[pi],
+                                  tx_all[pi], ty_all[pi],
+                                  sub[:, 0], sub[:, 1],
+                                  sub[:, 2], sub[:, 3], EPS)
+                if pair_hit.any():
+                    blocked[pi[pair_hit]] = True
+                    alive = alive[~blocked[alive]]
+        for poly in polys:
+            if not alive.size:
+                break
+            arr = (poly.as_array() if hasattr(poly, "as_array")
+                   else np.asarray(poly))
+            # Same padded-AABB prune per polygon: a pair whose box misses
+            # the hull's box cannot cross it, so skipping it (or the whole
+            # polygon) leaves the mask unchanged.
+            near = ((exlo[alive] <= float(arr[:, 0].max()) + pad) &
+                    (exhi[alive] >= float(arr[:, 0].min()) - pad) &
+                    (eylo[alive] <= float(arr[:, 1].max()) + pad) &
+                    (eyhi[alive] >= float(arr[:, 1].min()) - pad))
+            cand = alive[near]
+            if not cand.size:
+                continue
+            hit = crosses_convex_polygon(
+                sx_all[cand], sy_all[cand], tx_all[cand], ty_all[cand],
+                arr, EPS)
+            tested += cand.size
+            if hit.any():
+                blocked[cand[hit]] = True
+                alive = alive[~blocked[alive]]
+        full = m * (n_r + n_s + len(polys))
+        self._count_batch(m, self._prims_now(),
+                          {"tested": tested, "pruned": full - tested})
+        return blocked
+
+    def materialize_rows(self, nodes: Iterable[int]) -> int:
+        """Cut the missing adjacency rows of ``nodes`` in one batched pass.
+
+        The cold-path counterpart of :meth:`_materialize_row`: the
+        candidate (source, target) pairs of every still-unmaterialized row
+        are concatenated and decided by a single tiled
+        :func:`~repro.geometry.vectorized.blocked_batch` launch (bbox
+        prefilter included) instead of one launch per row.  The per-pair
+        kernels are elementwise — decisions are independent of how pairs
+        are batched — and weights go through the same ``math.hypot``, so
+        each resulting row is byte-identical (ids, order, weights, marks)
+        to what the per-node path would have produced.
+
+        Rows already materialized (even stale ones — they repair lazily on
+        access, as always) and dead nodes are skipped.  On the scalar
+        engine this falls back to per-node materialization: the oracle
+        stays the reference implementation.
+
+        Returns:
+            Number of rows materialized.
+        """
+        if self.engine != ARRAY_ENGINE:
+            made = 0
+            for v in dict.fromkeys(nodes):
+                if self._alive[v] and v not in self._rows:
+                    self.neighbors(v)
+                    made += 1
+            return made
+        todo = [v for v in dict.fromkeys(nodes)
+                if self._alive[v] and v not in self._indptr]
+        if not todo:
+            return 0
+        mark_now = self._array_mark()
+        epoch = self._struct_epoch
+        n = len(self._xy)
+        base = self._alive_np[:n] & ~self._transient_np[:n]
+        cand_all = np.nonzero(base)[0]
+        m = cand_all.size
+        todo_arr = np.asarray(todo, dtype=np.int64)
+        # Row-major candidate ids: every row sees cand_all minus itself.
+        # cand_all is ascending (nonzero order), so one searchsorted finds
+        # each row's own slot; np.delete drops them all in one allocation
+        # instead of one boolean-mask pass per row.
+        if m:
+            pos_v = np.searchsorted(cand_all, todo_arr)
+            present = cand_all[np.minimum(pos_v, m - 1)] == todo_arr
+            tgt_idx = np.tile(cand_all, len(todo))
+            drop = np.arange(len(todo), dtype=np.int64)[present] * m \
+                + pos_v[present]
+            if drop.size:
+                tgt_idx = np.delete(tgt_idx, drop)
+            counts = np.full(len(todo), m, dtype=np.int64) - present
+        else:
+            tgt_idx = np.zeros(0, dtype=np.int64)
+            counts = np.zeros(len(todo), dtype=np.int64)
+        total = int(tgt_idx.size)
+        blocked = np.zeros(0, dtype=bool)
+        if total:
+            sources = np.repeat(self._coords_np[todo_arr], counts, axis=0)
+            blocked = self._blocked_bulk(sources, self._coords_np[tgt_idx])
+            self.bulk_pair_launches += 1
+        # One pass builds every row's visible-id block and weight block in
+        # flat arrays; rows then slab-write slices of them.  Weights go
+        # element-by-element through math.hypot — np.hypot rounds the last
+        # ulp differently on ~0.5% of inputs, which would break the
+        # byte-identity contract with the per-node path.
+        visall = ~blocked if total else np.zeros(0, dtype=bool)
+        vis_idx_all = tgt_idx[visall] if total else tgt_idx
+        src_rep = np.repeat(np.arange(len(todo), dtype=np.int64), counts)
+        row_vis = np.bincount(src_rep[visall], minlength=len(todo))
+        w_all = np.empty(vis_idx_all.size, dtype=np.float64)
+        hypot = math.hypot
+        xy = self._xy
+        vis_list = vis_idx_all.tolist()
+        pos = 0
+        for v, c in zip(todo, row_vis.tolist()):
+            x, y = xy[v]
+            for j in range(pos, pos + c):
+                tx, ty = xy[vis_list[j]]
+                w_all[j] = hypot(x - tx, y - ty)
+            self._row_marks[v] = mark_now
+            self._row_write(v, vis_idx_all[pos:pos + c], w_all[pos:pos + c])
+            self._row_epochs[v] = epoch
+            pos += c
+        self.rows_bulk_materialized += len(todo)
+        return len(todo)
+
+    def _repair_rows_bulk(self, rows: List[int],
+                          mark: Tuple[int, int, int, int],
+                          mark_now: Tuple[int, int, int, int]) -> None:
+        """Repair cached rows sharing one watermark in two batched launches.
+
+        Exactly :meth:`_repair_row`'s two phases — drop entries blocked by
+        obstacles added since ``mark``, wire up permanent vertices added
+        since ``mark`` — but over the concatenated pairs of every row, so
+        a refresh of R stale rows costs 2 launches instead of 2R.  Kernel
+        decisions are elementwise, hence per-row results are identical.
+        """
+        n_rects, n_segs, n_polys, n_perm = mark
+        new_rects = self.obstacles.rects[n_rects:]
+        new_segs = self.obstacles.segs[n_segs:]
+        new_polys = self.obstacles.polys[n_polys:]
+        hypot = math.hypot
+        xy = self._xy
+        if new_rects.size or new_segs.size or new_polys:
+            holders: List[int] = []
+            spans: List[Tuple[int, int]] = []
+            for v in rows:
+                s, e = self._indptr[v]
+                if e > s:
+                    holders.append(v)
+                    spans.append((s, e))
+            if holders:
+                tgt_idx = np.concatenate(
+                    [self._indices[s:e] for s, e in spans])
+                counts = [e - s for s, e in spans]
+                sources = np.repeat(
+                    self._coords_np[np.asarray(holders, dtype=np.int64)],
+                    counts, axis=0)
+                rb, sb = self._prim_bounds()
+                tally: dict = {}
+                blocked = blocked_batch(sources, self._coords_np[tgt_idx],
+                                        new_rects, new_segs, new_polys,
+                                        bounds=(rb[n_rects:], sb[n_segs:]),
+                                        tally=tally)
+                self._count_batch(tgt_idx.size, new_rects.shape[0]
+                                  + new_segs.shape[0] + len(new_polys), tally)
+                self.bulk_pair_launches += 1
+                pos = 0
+                for v, (s, e) in zip(holders, spans):
+                    dead = blocked[pos:pos + (e - s)]
+                    pos += e - s
+                    if dead.any():
+                        ids = self._indices[s:e]
+                        keep = ~dead
+                        k = int(keep.sum())
+                        self._indices[s:s + k] = ids[keep]
+                        self._weights[s:s + k] = self._weights[s:e][keep]
+                        self._indptr[v] = (s, s + k)
+        perm_tail = self._perm_ids[n_perm:]
+        if perm_tail:
+            srcs: List[int] = []
+            per_row: List[List[int]] = []
+            for v in rows:
+                fresh = [i for i in perm_tail if i != v]
+                per_row.append(fresh)
+                srcs.extend([v] * len(fresh))
+            total = len(srcs)
+            if total:
+                tgt_idx = np.asarray(
+                    [i for fresh in per_row for i in fresh], dtype=np.int64)
+                tally = {}
+                blocked = blocked_batch(
+                    self._coords_np[np.asarray(srcs, dtype=np.int64)],
+                    self._coords_np[tgt_idx],
+                    self.obstacles.rects, self.obstacles.segs,
+                    self.obstacles.polys,
+                    bounds=self._prim_bounds(), tally=tally)
+                self._count_batch(total, self._prims_now(), tally)
+                self.bulk_pair_launches += 1
+                pos = 0
+                for v, fresh in zip(rows, per_row):
+                    x, y = xy[v]
+                    add_ids: List[int] = []
+                    add_w: List[float] = []
+                    for i, dead in zip(fresh,
+                                       blocked[pos:pos + len(fresh)].tolist()):
+                        if not dead:
+                            tx, ty = xy[i]
+                            add_ids.append(i)
+                            add_w.append(hypot(x - tx, y - ty))
+                    pos += len(fresh)
+                    if add_ids:
+                        s, e = self._indptr[v]
+                        merged_idx = np.concatenate(
+                            [self._indices[s:e],
+                             np.asarray(add_ids, dtype=np.int64)])
+                        merged_w = np.concatenate(
+                            [self._weights[s:e],
+                             np.asarray(add_w, dtype=np.float64)])
+                        self._row_write(v, merged_idx, merged_w)
+        for v in rows:
+            self._row_marks[v] = mark_now
+
+    def _refresh_rows_bulk(self) -> int:
+        """Bring every cached slab row current, grouped by watermark.
+
+        Rows stale against different watermarks (possible when inserts
+        landed between accesses) repair in separate grouped launches; rows
+        sharing a watermark — the overwhelmingly common case — share one
+        pair of launches.  Returns the number of rows repaired.
+        """
+        mark_now = self._array_mark()
+        epoch = self._struct_epoch
+        groups: Dict[Tuple[int, int, int, int], List[int]] = {}
+        for v in self._indptr:
+            if not self._alive[v]:
+                continue
+            m = self._row_marks.get(v)
+            if m != mark_now:
+                groups.setdefault(m, []).append(v)
+        for mark, vs in groups.items():
+            self._repair_rows_bulk(vs, mark, mark_now)
+            for v in vs:
+                self._row_epochs[v] = epoch
+        return sum(len(vs) for vs in groups.values())
+
+    def build_all(self) -> int:
+        """Eagerly materialize (and refresh) every alive node's row.
+
+        The bulk warm-up behind cold shared-backend builds, clone spare
+        provisioning and merged shard environments: missing rows cut in
+        one batched launch, stale rows repaired in grouped launches.  On
+        the scalar oracle it walks :meth:`neighbors` per node (reference
+        semantics), and with :attr:`bulk_build` cleared the array engine
+        does the same one-row-one-launch walk — the baseline the bulk
+        pass is benchmarked against and must match byte-for-byte.
+        Returns the number of rows freshly materialized.
+        """
+        ids = self._alive_ids()
+        if self.engine != ARRAY_ENGINE:
+            made = sum(1 for v in ids if v not in self._rows)
+            for v in ids:
+                self.neighbors(v)
+            return made
+        if not self.bulk_build:
+            made = sum(1 for v in ids if v not in self._indptr)
+            for v in ids:
+                self.row_arrays(v)
+            return made
+        made = self.materialize_rows(ids)
+        self._refresh_rows_bulk()
+        return made
+
+    def _prefetch_rows(self, node: int,
+                       frontier: "Callable[[], List[int]]") -> None:
+        """Array-traversal hook: bulk-materialize a frontier wave.
+
+        Invoked before each settle's row read; a no-op unless ``node``'s
+        row is actually missing, so the frontier gather (a sort of the
+        heap contents) is only paid once per wave, not once per settle.
+        """
+        width = self.frontier_prefetch
+        if width <= 1 or node in self._indptr or not self._alive[node]:
+            return
+        wave = [node]
+        for nb in frontier():
+            if len(wave) >= width:
+                break
+            if nb != node and nb not in self._indptr and self._alive[nb]:
+                wave.append(nb)
+        self.materialize_rows(wave)
+
     def row_arrays(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
         """The flat adjacency row of ``node``: ``(ids, weights)``.
 
@@ -906,11 +1617,10 @@ class LocalVisibilityGraph:
     def num_edges(self, materialize: bool = False) -> int:
         """Count sight-line edges (cached rows only, unless ``materialize``)."""
         if materialize:
-            for node in self._alive_ids():
-                if self.engine == ARRAY_ENGINE:
-                    self.row_arrays(node)
-                else:
-                    self.neighbors(node)
+            # Bulk path: one batched launch for all missing rows instead of
+            # one kernel launch per node (diagnostics used to dominate
+            # small-benchmark profiles through exactly this loop).
+            self.build_all()
         seen = set()
         if self.engine == ARRAY_ENGINE:
             for v, (s, e) in self._indptr.items():
@@ -1023,7 +1733,10 @@ class LocalVisibilityGraph:
                                alive=self._alive_view,
                                prune_bound=prune_bound, heur=heur,
                                on_bulk_push=self._count_bulk_push,
-                               stamp=self._generation)
+                               stamp=self._generation,
+                               prefetch=(self._prefetch_rows
+                                         if self.frontier_prefetch > 1
+                                         else None))
             self.array_traversals += 1
         else:
             t = Traversal(self.neighbors, source,

@@ -177,6 +177,18 @@ class QueryPlan:
     backend_array_traversals: int = 0
     """Cumulative array-engine traversals on the chosen backend at plan
     time (``BackendStats.array_traversals``)."""
+    backend_bulk_rows: int = 0
+    """Cumulative adjacency rows the chosen backend materialized through
+    the bulk path (``BackendStats.rows_bulk_materialized``)."""
+    backend_bulk_launches: int = 0
+    """Cumulative bulk pair launches on the chosen backend
+    (``BackendStats.bulk_pair_launches``)."""
+    backend_removal_repairs: int = 0
+    """Cumulative surgical removal repairs absorbed by the chosen backend
+    (``BackendStats.removal_repairs``)."""
+    backend_repair_retests: int = 0
+    """Cumulative absent pairs re-tested by those repairs
+    (``BackendStats.repair_retested_pairs``)."""
     est_parallel_speedup: float = 1.0
     """Estimated wall-clock speedup of executing this plan on the
     workspace's configured worker pool
@@ -232,6 +244,10 @@ class QueryPlan:
             f"{self.backend_pruned_edges} bbox-pruned, "
             f"{self.backend_bulk_pushes} bulk heap pushes, "
             f"{self.backend_array_traversals} array traversals so far)",
+            f"  cold/churn: {self.backend_bulk_rows} bulk rows in "
+            f"{self.backend_bulk_launches} bulk pair launches, "
+            f"{self.backend_removal_repairs} removal repairs "
+            f"({self.backend_repair_retests} pairs retested so far)",
             f"  parallel  : est. {self.est_parallel_speedup:.2f}x speedup "
             f"on this plan's independent units",
             f"  config    : {flags}",
@@ -318,6 +334,10 @@ def _engine_fields(ws: "Workspace", chosen: str) -> dict:
         "backend_pruned_edges": stats.kernel_pruned_edges,
         "backend_bulk_pushes": stats.heap_bulk_pushes,
         "backend_array_traversals": stats.array_traversals,
+        "backend_bulk_rows": stats.rows_bulk_materialized,
+        "backend_bulk_launches": stats.bulk_pair_launches,
+        "backend_removal_repairs": stats.removal_repairs,
+        "backend_repair_retests": stats.repair_retested_pairs,
     }
 
 

@@ -15,9 +15,10 @@ This module makes that surface an explicit protocol
   expensive-to-test adjacency rows) survives across queries; each query
   attaches its endpoints as transient nodes via the graph's
   ``bind``/``unbind`` and detaches them on completion.  Announced
-  workspace updates patch the graph in place (inserts) or drop it for a
-  lazy rebuild from the obstacle cache (removals); a version guard against
-  the backing R*-tree catches unannounced mutations at attach time.
+  workspace updates patch the graph in place (inserts) or repair it
+  surgically (removals; drop-and-rebuild survives as the configurable
+  parity oracle); a version guard against the backing R*-tree catches
+  unannounced mutations at attach time.
 
 Both backends hand the engine a :class:`VGSession`: the engine-facing view
 of one query's graph.  A session tracks the obstacles *admitted by this
@@ -70,6 +71,36 @@ PER_QUERY_VG = "per-query-vg"
 
 SHARED_VG = "shared-vg"
 """Backend name: the workspace-shared incremental visibility graph."""
+
+
+def _kernel_counters(graph: "LocalVisibilityGraph") -> Tuple[int, ...]:
+    """Snapshot of a graph's kernel-work counters.
+
+    Backend maintenance (eager bulk builds, removal repairs) runs while no
+    session is attached, so its work would otherwise vanish from
+    :class:`BackendStats` — sessions only report deltas over their own
+    lifetime.  Maintenance sites snapshot before/after and merge the
+    difference via :func:`_kernel_delta`.
+    """
+    return (graph.visibility_tests, graph.batch_visibility_calls,
+            graph.batched_edges_tested, graph.kernel_pruned_edges,
+            graph.rows_bulk_materialized, graph.bulk_pair_launches,
+            graph.removal_repairs, graph.repair_retested_pairs)
+
+
+def _kernel_delta(before: Tuple[int, ...],
+                  after: Tuple[int, ...]) -> BackendStats:
+    """The :class:`BackendStats` increment between two counter snapshots."""
+    return BackendStats(
+        visibility_tests=after[0] - before[0],
+        batch_visibility_calls=after[1] - before[1],
+        batched_edges_tested=after[2] - before[2],
+        kernel_pruned_edges=after[3] - before[3],
+        rows_bulk_materialized=after[4] - before[4],
+        bulk_pair_launches=after[5] - before[5],
+        removal_repairs=after[6] - before[6],
+        repair_retested_pairs=after[7] - before[7],
+    )
 
 
 @runtime_checkable
@@ -135,6 +166,10 @@ class VGSession:
         self._pruned0 = graph.kernel_pruned_edges
         self._bulk0 = graph.heap_bulk_pushes
         self._array0 = graph.array_traversals
+        self._bulkrows0 = graph.rows_bulk_materialized
+        self._bulklaunch0 = graph.bulk_pair_launches
+        self._repairs0 = graph.removal_repairs
+        self._retested0 = graph.repair_retested_pairs
         self._closed = False
 
     # ------------------------------------------------------- graph surface
@@ -225,6 +260,13 @@ class VGSession:
                                  - self._pruned0),
             heap_bulk_pushes=self.graph.heap_bulk_pushes - self._bulk0,
             array_traversals=self.graph.array_traversals - self._array0,
+            rows_bulk_materialized=(self.graph.rows_bulk_materialized
+                                    - self._bulkrows0),
+            bulk_pair_launches=(self.graph.bulk_pair_launches
+                                - self._bulklaunch0),
+            removal_repairs=self.graph.removal_repairs - self._repairs0,
+            repair_retested_pairs=(self.graph.repair_retested_pairs
+                                   - self._retested0),
         )
         # Counters accumulate per session (this graph is exclusively ours
         # for the session's lifetime, so the deltas are exact) and merge at
@@ -330,7 +372,9 @@ class PerQueryVGBackend(_BackendBase):
         from ..obstacles.visgraph import LocalVisibilityGraph
 
         t0 = time.perf_counter()
-        graph = LocalVisibilityGraph(qseg, engine=self.routing.engine)
+        graph = LocalVisibilityGraph(qseg, engine=self.routing.engine,
+                                     prefetch=self.routing.frontier_prefetch,
+                                     bulk_build=self.routing.bulk_build)
         return VGSession(self, graph, qseg, stats, shared=False, built=True,
                          build_time_s=time.perf_counter() - t0)
 
@@ -364,14 +408,16 @@ class SharedVGBackend(_BackendBase):
     Maintenance runs with the workspace write lock held (no session in
     flight): ``note_obstacle_insert`` patches every resident graph in
     place (adjacency rows self-repair lazily, exactly as IOR insertion
-    always has); ``note_obstacle_remove`` drops all graphs — removal
-    cannot be patched soundly, because unblocking the edges a vertex
-    removal re-opens would mean re-testing every cached row — and the
-    next attach rebuilds from the (already-evicted) cache.  A tree version
+    always has); ``note_obstacle_remove`` repairs every resident graph
+    surgically — removal only *adds* visibility, so only the absent pairs
+    the removed obstacle's padded bbox could have been blocking are
+    re-tested, in one batched launch per graph — unless
+    ``routing.removal_repair`` is off, in which case all graphs drop for
+    a lazy rebuild from the (already-evicted) cache.  A tree version
     mismatch at attach time means someone mutated the index behind the
-    workspace's back: every graph is dropped the same way, never served
-    stale.  Each drop bumps :attr:`generation`, the freshness token
-    workspace snapshots pin.
+    workspace's back: every graph is dropped, never served stale.  Each
+    drop bumps :attr:`generation`, the freshness token workspace
+    snapshots pin; repairs leave it untouched (nothing was dropped).
     """
 
     name = SHARED_VG
@@ -466,23 +512,98 @@ class SharedVGBackend(_BackendBase):
                     self.stats.patched += 1
 
     def note_obstacle_remove(self, obstacle: "Obstacle") -> None:
-        """Handle an announced removal: drop every graph for lazy rebuild."""
+        """Absorb an announced removal into every resident graph.
+
+        With ``routing.removal_repair`` (the default) each resident graph
+        repairs itself surgically — the obstacle's own vertices are
+        deleted and only the absent sight-line pairs its padded bbox could
+        have been blocking are re-tested, in one batched launch per graph
+        (see :meth:`~repro.obstacles.visgraph.LocalVisibilityGraph.remove_obstacle`).
+        Cached rows, traversal memos for unaffected sources, and pooled
+        spares all survive; :attr:`generation` does **not** bump, because
+        no graph was dropped.  Called under the workspace write lock, so
+        no graph is mid-traversal.
+
+        With the switch off, the pre-repair behavior: drop every graph
+        (``evicted``) for a lazy rebuild from the obstacle cache.
+        """
         with self._lock:
             if not self._absorb_announced_mutation():
                 return
-            if self._graph is not None or self._idle:
+            if self._graph is None and not self._idle:
+                return
+            if not self.routing.removal_repair:
                 with self._stats_lock:
                     self.stats.evicted += 1
                 self._drop()
+                return
+            for graph in self._resident_graphs():
+                before = _kernel_counters(graph)
+                graph.remove_obstacle(obstacle)
+                self._merge_stats(_kernel_delta(before,
+                                                _kernel_counters(graph)))
 
     def _resident_graphs(self) -> Iterator["LocalVisibilityGraph"]:
         if self._graph is not None:
             yield self._graph
         yield from self._idle
 
+    def warm(self, obstacles: Optional[Iterable["Obstacle"]] = None) -> int:
+        """Build the primary graph now, optionally over extra obstacles.
+
+        The eager-warmup entry point: cold shared workspaces and the shard
+        router's freshly merged environments call it so the first query
+        lands on a fully materialized skeleton instead of paying
+        per-settle kernel launches.  Warming always materializes every
+        row — ``routing.bulk_build`` only selects *how*: one batched pass
+        over all missing rows, or the per-node one-launch-per-row walk
+        (the baseline arm of the cold bench).  ``obstacles`` beyond the
+        cache's resident set are admitted first, so a merged environment
+        can warm exactly the union its shards contributed.  Also flips
+        :attr:`ready`, which the planner reads as the auto-mode warm
+        signal.
+
+        Returns:
+            Number of obstacles resident in the primary graph afterwards.
+        """
+        with self._lock:
+            if self.tree.version != self._tree_version:
+                self.invalidate()
+                self._tree_version = self.tree.version
+            if self._graph is None:
+                self._graph, build_time = self._build_graph(extra=obstacles)
+                with self._stats_lock:
+                    self.stats.graphs_built += 1
+                    self.stats.build_time_s += build_time
+                obstacles = None  # admitted by the build above
+                if self.routing.bulk_build:
+                    # _build_graph already materialized every row.
+                    return len(self._graph.obstacles)
+            graph = self._graph
+            t0 = time.perf_counter()
+            before = _kernel_counters(graph)
+            if obstacles is not None:
+                graph.add_obstacles(obstacles)
+            graph.build_all()
+            self._merge_stats(_kernel_delta(before,
+                                            _kernel_counters(graph)))
+            with self._stats_lock:
+                self.stats.build_time_s += time.perf_counter() - t0
+            return len(self._graph.obstacles)
+
     # ------------------------------------------------------------- sessions
-    def _build_graph(self) -> Tuple["LocalVisibilityGraph", float]:
-        """A fresh graph seeded from the obstacle cache, with build time."""
+    def _build_graph(self, extra: Optional[Iterable["Obstacle"]] = None
+                     ) -> Tuple["LocalVisibilityGraph", float]:
+        """A fresh graph seeded from the obstacle cache, with build time.
+
+        With ``routing.bulk_build`` every adjacency row of the seeded
+        skeleton is cut eagerly in one batched pass (``build_all``) — the
+        cold-start cost moves from one kernel launch per settled node to a
+        handful per build.  The build's kernel work is merged straight
+        into the backend stats: the session that triggered the build
+        snapshots its counter baselines *after* construction, so nothing
+        is double-counted.
+        """
         from ..obstacles.visgraph import LocalVisibilityGraph
 
         t0 = time.perf_counter()
@@ -492,7 +613,16 @@ class SharedVGBackend(_BackendBase):
         else:
             seed = []
         graph = LocalVisibilityGraph(obstacles=seed,
-                                     engine=self.routing.engine)
+                                     engine=self.routing.engine,
+                                     prefetch=self.routing.frontier_prefetch,
+                                     bulk_build=self.routing.bulk_build)
+        if extra is not None:
+            graph.add_obstacles(extra)
+        if self.routing.bulk_build and len(graph.obstacles):
+            graph.build_all()
+            # Fresh graph: its counters *are* the build work.
+            self._merge_stats(_kernel_delta((0,) * 8,
+                                            _kernel_counters(graph)))
         return graph, time.perf_counter() - t0
 
     def prepare_sessions(self, n: int) -> int:
@@ -512,6 +642,14 @@ class SharedVGBackend(_BackendBase):
             if self._graph is None or self._primary_busy:
                 return 0
             want = min(n - 1, self.max_pool) - len(self._idle)
+            if want > 0 and self.routing.bulk_build:
+                # Warm the primary's full row set once, in bulk, so every
+                # clone carries a complete adjacency cache instead of each
+                # worker paying the per-settle launches separately.
+                before = _kernel_counters(self._graph)
+                self._graph.build_all()
+                self._merge_stats(_kernel_delta(
+                    before, _kernel_counters(self._graph)))
             made = 0
             for _ in range(max(0, want)):
                 clone = self._graph.clone_skeleton()

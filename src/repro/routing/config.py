@@ -35,15 +35,39 @@ class RoutingConfig:
             dict-based implementation.  Answers are byte-identical either
             way; only speed and the batch counters in
             :class:`~repro.routing.stats.BackendStats` differ.
+        bulk_build: eagerly materialize every adjacency row of a shared
+            graph in one batched pass (``build_all``) when the backend
+            builds it from the obstacle cache, warms clone spares, or
+            seeds a shard router's merged environment.  ``False`` keeps
+            the pre-bulk behavior: rows materialize one kernel launch per
+            settled node.  Rows are byte-identical either way.
+        frontier_prefetch: when an array traversal settles a node whose
+            row is missing, materialize rows for up to this many frontier
+            nodes (nearest first) in one batched pass instead of one
+            launch per settle.  ``0`` (or ``1``) disables the wave and
+            restores the per-settle launch pattern.  Settle order,
+            distances and predecessors are unchanged — materializing a
+            row early never alters its content.
+        removal_repair: repair resident shared graphs surgically on an
+            announced obstacle removal — delete the obstacle's own nodes
+            and re-test only the absent pairs whose sight segment's bbox
+            overlaps the removed obstacle's padded bbox — instead of
+            dropping every graph for a full lazy rebuild.  ``False``
+            keeps drop-and-rebuild as the parity oracle.
     """
 
     engine: str = ARRAY_ENGINE
+    bulk_build: bool = True
+    frontier_prefetch: int = 16
+    removal_repair: bool = True
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
             raise ValueError(
                 f"unknown routing engine {self.engine!r}; "
                 f"expected one of {_ENGINES}")
+        if self.frontier_prefetch < 0:
+            raise ValueError("frontier_prefetch must be >= 0")
 
 
 DEFAULT_ROUTING = RoutingConfig()

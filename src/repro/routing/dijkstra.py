@@ -224,21 +224,31 @@ class ArrayTraversal(_ReplayCore):
         on_bulk_push: optional no-arg hook invoked once per bulk row push
             (the owner's ``heap_bulk_pushes`` counter).
         stamp: opaque validity token recorded for the owner.
+        prefetch: optional hook ``prefetch(node, frontier)`` invoked right
+            before each settled node's row read; ``frontier()`` lazily
+            yields the not-yet-settled frontier node ids nearest-first, so
+            the owner can materialize adjacency rows for the whole top of
+            the heap in one batched pass.  Purely a materialization hint —
+            the traversal's own state is untouched, so settle order,
+            distances and predecessors are unchanged.
     """
 
     __slots__ = ("_rows", "_alive", "source", "dist", "pred", "settled",
                  "_heap", "_runs", "_done", "stamp", "_lock", "prune_bound",
-                 "_heur", "_on_bulk_push")
+                 "_heur", "_on_bulk_push", "_prefetch")
 
     def __init__(self, rows: ArrayAdjacency, source: int, size: int,
                  alive: Optional[Callable[[], np.ndarray]] = None,
                  prune_bound: float = math.inf,
                  heur: Optional[np.ndarray] = None,
                  on_bulk_push: Optional[Callable[[], None]] = None,
-                 stamp: Any = None):
+                 stamp: Any = None,
+                 prefetch: Optional[Callable[
+                     [int, Callable[[], List[int]]], None]] = None):
         self._rows = rows
         self._alive = alive
         self._on_bulk_push = on_bulk_push
+        self._prefetch = prefetch
         self.prune_bound = prune_bound
         self._heur = heur if prune_bound < math.inf else None
         self.source = source
@@ -269,6 +279,39 @@ class ArrayTraversal(_ReplayCore):
         done = np.zeros(n, dtype=bool)
         done[:old] = self._done
         self._done = done
+
+    def _frontier_ids(self, cap: int = 64) -> List[int]:
+        """Not-yet-settled frontier node ids, nearest (tentative) first.
+
+        The prefetch hook's view of the heap top: entries from the plain
+        heap, the run heads, and a bounded prefix of each run's tail,
+        sorted by ``(dist, node)`` and deduplicated.  Advisory only — a
+        stale entry (node already improved elsewhere) merely wastes a
+        prefetch slot.  Called from inside :meth:`advance` (lock already
+        held), so it must not lock.
+        """
+        done = self._done
+        cand: List[Tuple[float, int]] = [
+            (d, v) for d, v in self._heap if not done[v]]
+        runs = self._runs
+        for d, v, _rid in runs._heads:
+            if not done[v]:
+                cand.append((d, v))
+        for dl, nl, cursor in runs._runs.values():
+            for j in range(cursor + 1, min(cursor + 1 + cap, len(dl))):
+                v = nl[j]
+                if not done[v]:
+                    cand.append((dl[j], v))
+        cand.sort()
+        out: List[int] = []
+        seen = set()
+        for _d, v in cand:
+            if v not in seen:
+                seen.add(v)
+                out.append(v)
+                if len(out) >= cap:
+                    break
+        return out
 
     def advance(self) -> Optional[SettledEntry]:
         """Settle and record the next node; ``None`` when exhausted.
@@ -315,6 +358,8 @@ class ArrayTraversal(_ReplayCore):
                 if heur is not None and node < heur.size \
                         and d + heur[node] >= self.prune_bound:
                     return entry
+                if self._prefetch is not None:
+                    self._prefetch(node, self._frontier_ids)
                 idx, w = self._rows(node)
                 mask = self._alive() if self._alive is not None else None
                 if mask is not None and mask.size > self.dist.size:

@@ -82,6 +82,26 @@ class BackendStats:
     """Fresh traversals run on the array-backed Dijkstra engine (0 under
     the scalar parity oracle)."""
 
+    rows_bulk_materialized: int = 0
+    """Adjacency rows cut by the bulk path (``materialize_rows``: eager
+    ``build_all`` seeding and frontier-prefetch waves) rather than one
+    kernel launch per settled node."""
+
+    bulk_pair_launches: int = 0
+    """Batched kernel launches issued by the bulk materialization /
+    repair paths, each covering the concatenated candidate pairs of many
+    rows (also counted in ``batch_visibility_calls``)."""
+
+    removal_repairs: int = 0
+    """Announced obstacle removals absorbed by surgically repairing a
+    resident graph in place (nodes deleted, re-opened sight lines
+    re-tested) instead of dropping it (``evicted``)."""
+
+    repair_retested_pairs: int = 0
+    """Absent (source, target) pairs re-tested by removal repairs: pairs
+    not currently visible whose sight segment's bbox overlaps a removed
+    obstacle's padded bbox (the only pairs removal can re-open)."""
+
     patched: int = 0
     """Announced obstacle inserts patched into a shared graph in place."""
 
@@ -120,6 +140,10 @@ class BackendStats:
         self.kernel_pruned_edges += other.kernel_pruned_edges
         self.heap_bulk_pushes += other.heap_bulk_pushes
         self.array_traversals += other.array_traversals
+        self.rows_bulk_materialized += other.rows_bulk_materialized
+        self.bulk_pair_launches += other.bulk_pair_launches
+        self.removal_repairs += other.removal_repairs
+        self.repair_retested_pairs += other.repair_retested_pairs
         self.patched += other.patched
         self.evicted += other.evicted
         self.invalidations += other.invalidations

@@ -73,6 +73,7 @@ from ..query.queries import (
     as_range_args,
 )
 from ..query.results import QueryResult
+from ..routing.config import DEFAULT_ROUTING, RoutingConfig
 from ..service.concurrency import ReadWriteLock, SnapshotExpired
 from ..service.updates import (
     AddObstacle,
@@ -104,12 +105,17 @@ class ShardedWorkspace:
         partitioner: the ownership map the shards were split by.
         config: default pruning configuration for queries.
         planner: planner options handed to every shard.
+        routing: substrate configuration for merged border environments
+            (engine, bulk build, removal repair); defaults to the first
+            shard's routing so the border path runs on the same substrate
+            as the home shards.
     """
 
     def __init__(self, shards: Sequence[Workspace],
                  partitioner: Partitioner, *,
                  config: ConnConfig = DEFAULT_CONFIG,
-                 planner: PlannerOptions = DEFAULT_PLANNER):
+                 planner: PlannerOptions = DEFAULT_PLANNER,
+                 routing: Optional[RoutingConfig] = None):
         if len(shards) != partitioner.num_shards:
             raise ValueError(
                 f"partitioner expects {partitioner.num_shards} shards, "
@@ -122,6 +128,10 @@ class ShardedWorkspace:
         self.partitioner = partitioner
         self.config = config
         self.planner = planner
+        if routing is None:
+            routing = (self.shards[0].routing_config if self.shards
+                       else DEFAULT_ROUTING)
+        self.routing_config = routing
         self.layout = "2T"
         self.version = 0
         """Mutation counter: bumped by every applied update (the sharded
@@ -148,6 +158,7 @@ class ShardedWorkspace:
                     page_size: int = 4096,
                     config: ConnConfig = DEFAULT_CONFIG,
                     planner: PlannerOptions = DEFAULT_PLANNER,
+                    routing: RoutingConfig = DEFAULT_ROUTING,
                     overfetch: float = 1.0) -> "ShardedWorkspace":
         """Partition raw points and obstacles into per-shard workspaces.
 
@@ -181,9 +192,10 @@ class ShardedWorkspace:
         built = [Workspace.from_points(site_lists[sid], obstacle_lists[sid],
                                        layout="2T", page_size=page_size,
                                        config=config, planner=planner,
-                                       overfetch=overfetch)
+                                       routing=routing, overfetch=overfetch)
                  for sid in range(partitioner.num_shards)]
-        sws = cls(built, partitioner, config=config, planner=planner)
+        sws = cls(built, partitioner, config=config, planner=planner,
+                  routing=routing)
         sws.stats.replicated_obstacles = replicas
         return sws
 
@@ -200,7 +212,8 @@ class ShardedWorkspace:
         return cls.from_points(
             points, obstacles, shards=shards, partitioner=partitioner,
             page_size=workspace.obstacle_tree.page_size,
-            config=workspace.config, planner=workspace.planner)
+            config=workspace.config, planner=workspace.planner,
+            routing=workspace.routing_config)
 
     # -------------------------------------------------------------- structure
     @property
@@ -305,7 +318,13 @@ class ShardedWorkspace:
                     seen.setdefault(obstacle)
             merged = Workspace.from_points(
                 points, list(seen), layout="2T", page_size=self._page_size,
-                config=self.config, planner=self.planner)
+                config=self.config, planner=self.planner,
+                routing=self.routing_config)
+            # Warm the merged environment's shared graph eagerly: every
+            # adjacency row over the member obstacles is cut in one bulk
+            # pass now, so the border crossing that triggered this merge —
+            # and every reuse after it — skips the per-settle cold start.
+            merged.routing.warm(list(seen))
             self._merged[key] = merged
             if len(self._merged) > MERGE_CACHE_CAP:
                 self._merged.popitem(last=False)

@@ -1,0 +1,226 @@
+"""Bulk row materialization: byte-identity with the per-node path.
+
+Contract under test:
+
+* **Row identity** — ``materialize_rows`` / ``build_all`` with
+  ``bulk_build`` set produce, for every node, exactly the ids (same
+  order), exactly the weights (bitwise float equality) and exactly the
+  staleness watermarks the per-node ``row_arrays`` walk produces — across
+  mixed obstacle kinds, bind/unbind churn, point insertion/removal and
+  ``compact()``;
+* **Counters** — the bulk path ticks ``rows_bulk_materialized`` and
+  ``bulk_pair_launches``; the per-node oracle (``bulk_build=False``)
+  leaves them untouched;
+* **Prefetch** — an array traversal with frontier prefetch settles the
+  exact ``(dist, node, pred)`` sequence of an unprefetched one while
+  cutting its rows through the bulk pass;
+* **Diagnostics** — ``num_edges(materialize=True)`` rides the bulk pass
+  and counts the same edge set either way.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Segment
+from repro.obstacles import (
+    LocalVisibilityGraph,
+    PolygonObstacle,
+    RectObstacle,
+    SegmentObstacle,
+)
+from tests.conftest import random_query, random_scene
+
+Q = Segment(0, 50, 100, 50)
+
+
+def mixed_scene(rng: random.Random, n: int = 9):
+    """Obstacles cycling rect / segment / triangle, scattered in the box."""
+    obstacles = []
+    for i in range(n):
+        x = rng.uniform(5, 85)
+        y = rng.uniform(5, 85)
+        w = rng.uniform(3, 9)
+        h = rng.uniform(3, 9)
+        kind = i % 3
+        if kind == 0:
+            obstacles.append(RectObstacle(x, y, x + w, y + h))
+        elif kind == 1:
+            obstacles.append(SegmentObstacle(x, y, x + w, y + h))
+        else:
+            obstacles.append(PolygonObstacle(
+                [(x, y), (x + w, y), (x + 0.5 * w, y + h)]))
+    return obstacles
+
+
+def twin_graphs(rng: random.Random, n_obstacles: int = 9):
+    """One bulk graph and one per-node oracle over the same scene."""
+    obstacles = mixed_scene(rng, n_obstacles)
+    bulk = LocalVisibilityGraph(Q, bulk_build=True)
+    oracle = LocalVisibilityGraph(Q, bulk_build=False)
+    for g in (bulk, oracle):
+        g.add_obstacles(obstacles)
+    return bulk, oracle
+
+
+def assert_rows_identical(bulk: LocalVisibilityGraph,
+                          oracle: LocalVisibilityGraph) -> None:
+    assert bulk._alive_ids() == oracle._alive_ids()
+    for v in bulk._alive_ids():
+        bi, bw = bulk.row_arrays(v)
+        oi, ow = oracle.row_arrays(v)
+        assert bi.tolist() == oi.tolist()          # same ids, same order
+        assert bw.tolist() == ow.tolist()          # bitwise-equal weights
+        assert bulk._row_marks[v] == oracle._row_marks[v]
+
+
+class TestBuildAllIdentity:
+    def test_rows_and_marks_byte_identical(self):
+        bulk, oracle = twin_graphs(random.Random(7))
+        made_b = bulk.build_all()
+        made_o = oracle.build_all()
+        assert made_b == made_o > 0
+        assert_rows_identical(bulk, oracle)
+
+    def test_bulk_counters_tick_only_on_bulk_path(self):
+        bulk, oracle = twin_graphs(random.Random(8))
+        bulk.build_all()
+        oracle.build_all()
+        assert bulk.rows_bulk_materialized > 0
+        assert bulk.bulk_pair_launches > 0
+        assert oracle.rows_bulk_materialized == 0
+        assert oracle.bulk_pair_launches == 0
+
+    def test_build_all_idempotent(self):
+        bulk, _ = twin_graphs(random.Random(9))
+        assert bulk.build_all() > 0
+        rows_after_first = bulk.rows_bulk_materialized
+        assert bulk.build_all() == 0          # nothing missing second time
+        assert bulk.rows_bulk_materialized == rows_after_first
+
+    def test_materialize_rows_subset_matches_lazy(self):
+        bulk, oracle = twin_graphs(random.Random(10))
+        subset = bulk._alive_ids()[::2]
+        assert bulk.materialize_rows(subset) == len(subset)
+        for v in subset:
+            bi, bw = bulk.row_arrays(v)
+            oi, ow = oracle.row_arrays(v)
+            assert bi.tolist() == oi.tolist()
+            assert bw.tolist() == ow.tolist()
+
+    def test_materialize_rows_empty_scene(self):
+        g = LocalVisibilityGraph(Q)
+        assert g.build_all() >= 0             # endpoints only; no crash
+        idx, w = g.row_arrays(g.S)
+        assert g.E in idx.tolist()
+
+    def test_num_edges_materialize_agrees(self):
+        bulk, oracle = twin_graphs(random.Random(11))
+        assert bulk.num_edges(materialize=True) == \
+            oracle.num_edges(materialize=True)
+        assert bulk.rows_bulk_materialized > 0
+
+
+class TestChurnIdentity:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_bind_unbind_obstacle_point_compact_storm(self, seed):
+        rng = random.Random(seed)
+        points, _ = random_scene(rng, n_points=5, n_obstacles=0)
+        bulk = LocalVisibilityGraph(None, bulk_build=True)
+        oracle = LocalVisibilityGraph(None, bulk_build=False)
+        pair = (bulk, oracle)
+        shared = mixed_scene(rng, 6)
+        for g in pair:
+            g.add_obstacles(shared)
+        nodes = []
+        for _p, (x, y) in points:
+            ids = {g.add_point(x, y) for g in pair}
+            assert len(ids) == 1
+            nodes.append(ids.pop())
+        bound = False
+        for _step in range(8):
+            op = rng.choice(("bind", "unbind", "obstacle", "point",
+                             "compact", "build"))
+            if op == "bind" and not bound:
+                qseg = random_query(rng)
+                for g in pair:
+                    g.bind(qseg)
+                bound = True
+            elif op == "unbind" and bound:
+                for g in pair:
+                    g.unbind()
+                bound = False
+            elif op == "obstacle":
+                extra = mixed_scene(rng, 1)
+                for g in pair:
+                    g.add_obstacles(extra)
+            elif op == "point":
+                x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+                ids = {g.add_point(x, y) for g in pair}
+                assert len(ids) == 1
+            elif op == "compact":
+                for g in pair:
+                    g.compact()
+            else:
+                assert bulk.build_all() == oracle.build_all()
+            assert_rows_identical(bulk, oracle)
+
+
+class TestFrontierPrefetch:
+    def test_settle_order_identical_with_prefetch(self):
+        rng = random.Random(13)
+        obstacles = mixed_scene(rng, 9)
+        plain = LocalVisibilityGraph(Q, prefetch=0)
+        waved = LocalVisibilityGraph(Q, prefetch=16)
+        for g in (plain, waved):
+            g.add_obstacles(obstacles)
+        got = list(waved.dijkstra_order(waved.S))
+        want = list(plain.dijkstra_order(plain.S))
+        assert got == want                     # dist, node, pred — exact
+        assert waved.rows_bulk_materialized > 0
+        assert plain.rows_bulk_materialized == 0
+
+    def test_prefetched_rows_match_lazy_rows(self):
+        rng = random.Random(14)
+        obstacles = mixed_scene(rng, 9)
+        plain = LocalVisibilityGraph(Q, prefetch=0)
+        waved = LocalVisibilityGraph(Q, prefetch=8)
+        for g in (plain, waved):
+            g.add_obstacles(obstacles)
+        waved.shortest_distances(waved.S, (waved.E,))
+        for v in waved._alive_ids():
+            wi, ww = waved.row_arrays(v)
+            pi, pw = plain.row_arrays(v)
+            assert wi.tolist() == pi.tolist()
+            assert ww.tolist() == pw.tolist()
+
+
+class TestBulkVisibilityKernel:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_blocked_bulk_matches_unchunked_launch(self, seed):
+        from repro.geometry.vectorized import blocked_batch
+
+        rng = random.Random(seed)
+        g = LocalVisibilityGraph(Q)
+        g.add_obstacles(mixed_scene(rng, 7))
+        n = rng.randrange(1, 120)
+        src = np.array([[rng.uniform(0, 100), rng.uniform(0, 100)]
+                        for _ in range(n)])
+        tgt = np.array([[rng.uniform(0, 100), rng.uniform(0, 100)]
+                        for _ in range(n)])
+        got = g._blocked_bulk(src, tgt)
+        want = blocked_batch(src, tgt, g.obstacles.rects, g.obstacles.segs,
+                             g.obstacles.polys)
+        assert got.tolist() == want.tolist()
+
+    def test_blocked_bulk_empty(self):
+        g = LocalVisibilityGraph(Q)
+        empty = np.empty((0, 2))
+        assert g._blocked_bulk(empty, empty).size == 0

@@ -157,8 +157,27 @@ class TestSharedGraphLifecycle:
         assert_same_result(got, want, SEG)
         assert ws.routing.stats.graphs_built == built
 
-    def test_remove_drops_graph_and_rebuilds_lazily(self):
+    def test_remove_repairs_graph_in_place(self):
         ws = make_ws()
+        ws.prefetch_all()
+        ws.conn(SEG)
+        assert ws.routing.ready
+        built = ws.routing.stats.graphs_built
+        assert ws.remove_obstacle(OBS[0])
+        # Default routing: surgical repair — the graph survives, nothing
+        # is evicted, and the removal shows up in the repair counters.
+        assert ws.routing.stats.evicted == 0
+        assert ws.routing.stats.removal_repairs >= 1
+        assert ws.routing.ready  # still resident, repaired in place
+        got = ws.execute(ws.plan(ConnQuery(SEG), backend="shared"))
+        want = Workspace.from_points(POINTS, OBS[1:]).conn(SEG)
+        assert_same_result(got, want, SEG)
+        assert ws.routing.stats.graphs_built == built  # no rebuild
+
+    def test_remove_drops_graph_with_repair_disabled(self):
+        from repro.routing import RoutingConfig
+
+        ws = make_ws(routing=RoutingConfig(removal_repair=False))
         ws.prefetch_all()
         ws.conn(SEG)
         assert ws.routing.ready
